@@ -1,0 +1,54 @@
+"""Figure 14: cost ratio of ZooKeeper and FaaSKeeper.
+
+Regenerates all six heatmaps (standard + hybrid storage at 100/90/80 %
+reads) for the request-per-day sweep and the 3/9-VM deployments, and
+checks the paper's printed cells and break-even claims.
+"""
+
+from repro.analysis import render_heatmap
+from repro.costmodel import (
+    FIGURE14_DEPLOYMENTS,
+    FIGURE14_REQUESTS,
+    BreakevenModel,
+)
+
+ROW_LABELS = [f"{n} x {vm}" for n, vm in FIGURE14_DEPLOYMENTS]
+COL_LABELS = ["100K", "500K", "1M", "2M", "5M"]
+
+
+def run():
+    model = BreakevenModel()
+    results = {}
+    print()
+    for read_frac in (1.0, 0.9, 0.8):
+        for hybrid in (False, True):
+            key = (read_frac, hybrid)
+            matrix = model.matrix(read_frac, hybrid)
+            results[key] = matrix
+            mode = "hybrid" if hybrid else "standard"
+            print(render_heatmap(
+                ROW_LABELS, COL_LABELS, matrix,
+                title=f"Figure 14: ZK/FK cost ratio, {int(read_frac*100)}% "
+                      f"reads, {mode} storage (requests per day)"))
+            print()
+    print(f"break-even (3 x t3.small, 100% reads): standard "
+          f"{model.breakeven_requests(1.0, False)/1e6:.2f}M req/day, "
+          f"hybrid {model.breakeven_requests(1.0, True)/1e6:.2f}M req/day")
+    return results
+
+
+def test_fig14_breakeven(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    std100 = results[(1.0, False)]
+    hyb100 = results[(1.0, True)]
+    # Paper's printed first rows (3 x t3.small).
+    expected_std = [37.44, 7.49, 3.74, 1.87, 0.75]
+    expected_hyb = [59.90, 11.98, 5.99, 3.00, 1.20]
+    for got, want in zip(std100[0], expected_std):
+        assert abs(got - want) / want < 0.03
+    for got, want in zip(hyb100[0], expected_hyb):
+        assert abs(got - want) / want < 0.03
+    # Headline claim: savings of up to ~719x (9 x t3.large, 100K, hybrid).
+    assert 680 < hyb100[5][0] < 760
+    # And up to ~110x for the standard+small corner at 100K/day.
+    assert std100[0][0] > 30

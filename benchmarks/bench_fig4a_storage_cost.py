@@ -1,0 +1,45 @@
+"""Figure 4a: cost of storage services for varying data size and op counts.
+
+Left panel: monthly cost of 1 M one-kB operations plus retention, sweeping
+the stored data size.  Right panel: cost sweeping the operation count at
+1 GB stored.  Shape checks: object-store writes are 12.5x reads; key-value
+storage dominates cost for large items; S3 writes are too expensive for
+frequent small writes (why system state lives in DynamoDB).
+"""
+
+from repro.analysis import render_table
+from repro.costmodel import StorageCostModel
+
+SIZES_GB = (0.01, 0.03, 0.12, 0.40, 1.0, 4.0, 10.0)
+OPS = (10, 10**3, 10**5, 10**7)
+
+
+def run():
+    model = StorageCostModel()
+    size_sweep = model.size_sweep(SIZES_GB)
+    ops_sweep = model.ops_sweep(OPS)
+    print()
+    rows = [[gb] + [size_sweep[k][i] for k in sorted(size_sweep)]
+            for i, gb in enumerate(SIZES_GB)]
+    print(render_table(["GB stored"] + sorted(size_sweep), rows,
+                       title="Figure 4a (left): $ for 1M 1kB ops + retention"))
+    rows = [[n] + [ops_sweep[k][i] for k in sorted(ops_sweep)]
+            for i, n in enumerate(OPS)]
+    print(render_table(["ops"] + sorted(ops_sweep), rows,
+                       title="Figure 4a (right): $ at 1 GB stored"))
+    return model, size_sweep, ops_sweep
+
+
+def test_fig4a_storage_cost(benchmark):
+    model, size_sweep, ops_sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    # S3 writes 12.5x more expensive than reads (paper annotation).
+    assert abs(model.s3_write_read_ratio() - 12.5) < 0.01
+    # Key-value storage ~4.37x more expensive than object storage on large
+    # data: compare 1M 64kB writes.
+    s3_large = model.monthly_cost("s3", "write", 1.0, 10**6, op_kb=64)
+    dd_large = model.monthly_cost("dynamodb", "write", 1.0, 10**6, op_kb=64)
+    assert dd_large / s3_large > 4
+    # Object storage too expensive for frequent small writes (right panel).
+    assert ops_sweep["s3_write"][-1] > 3 * ops_sweep["dynamodb_write"][-1]
+    # At low op counts retention dominates and DynamoDB storage is pricier.
+    assert ops_sweep["dynamodb_read"][0] > ops_sweep["s3_read"][0]

@@ -1,0 +1,73 @@
+"""Figure 4b: latency of read/write operations in AWS storage services.
+
+Sweeps payload size for S3 and DynamoDB, intra-region and inter-region.
+Shape checks: latency grows with size, writes are slower than reads on
+DynamoDB for large items, and cross-region access pays a >100 ms penalty.
+"""
+
+from repro.analysis import render_table, summarize
+from repro.cloud import Cloud, OpContext
+
+SIZES_KB = (1, 50, 100, 200, 380)  # top size below the 400 kB item cap
+REPS = 60
+
+
+def _measure(cloud, op):
+    t0 = cloud.now
+    cloud.run_process(op())
+    return cloud.now - t0
+
+
+def run():
+    cloud = Cloud.aws(seed=4)
+    s3 = cloud.objectstore()
+    s3.create_bucket("b")
+    kv = cloud.kv()
+    kv.create_table("t")
+    local = OpContext(region="us-east-1")
+    remote = OpContext(region="eu-central-1")
+
+    results = {}
+    for size_kb in SIZES_KB:
+        payload = b"x" * (size_kb * 1024)
+        item = {"data": payload}
+        for name, ctx in (("local", local), ("inter", remote)):
+            cloud.run_process(s3.put_object(local, "b", "k", payload))
+            results[("s3", "write", name, size_kb)] = summarize([
+                _measure(cloud, lambda: s3.put_object(ctx, "b", "k", payload))
+                for _ in range(REPS)])
+            results[("s3", "read", name, size_kb)] = summarize([
+                _measure(cloud, lambda: s3.get_object(ctx, "b", "k"))
+                for _ in range(REPS)])
+            if size_kb <= 400:
+                cloud.run_process(kv.put_item(local, "t", "k", item))
+                results[("ddb", "write", name, size_kb)] = summarize([
+                    _measure(cloud, lambda: kv.put_item(ctx, "t", "k", item))
+                    for _ in range(REPS)])
+                results[("ddb", "read", name, size_kb)] = summarize([
+                    _measure(cloud, lambda: kv.get_item(ctx, "t", "k"))
+                    for _ in range(REPS)])
+
+    print()
+    rows = []
+    for (svc, op, region, size_kb), s in sorted(results.items()):
+        rows.append([svc, op, region, size_kb, s.p50, s.p99])
+    print(render_table(["service", "op", "region", "kB", "p50 ms", "p99 ms"],
+                       rows, title="Figure 4b: storage latency vs size"))
+    return results
+
+
+def test_fig4b_storage_latency(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Efficient reads/writes on large user data in S3: sub-linear growth.
+    assert results[("s3", "read", "local", 380)].p50 < 60
+    # DynamoDB: slow writes on large user data (the paper's annotation).
+    assert results[("ddb", "write", "local", 380)].p50 > \
+        3 * results[("s3", "write", "local", 380)].p50
+    # Penalty on cross-region access: > 100 ms extra.
+    for svc in ("s3", "ddb"):
+        assert results[(svc, "read", "inter", 100)].p50 > \
+            results[(svc, "read", "local", 100)].p50 + 100
+    # Reads cheaper than writes on both services at 400 kB.
+    assert results[("ddb", "read", "local", 380)].p50 < \
+        results[("ddb", "write", "local", 380)].p50

@@ -1,0 +1,81 @@
+"""Figure 8: read operations in FaaSKeeper and ZooKeeper (AWS + GCP).
+
+``get_data`` latency versus node size for every user-store backend
+(DynamoDB, S3, Redis, hybrid) against the self-hosted ZooKeeper baseline;
+then the GCP variant (Datastore, Cloud Storage).  Shape checks: ZooKeeper
+and Redis are on par (sub-2 ms small nodes); DynamoDB ~5 ms; S3 ~12 ms;
+GCP Datastore ~2.3x slower than DynamoDB on small nodes; GCP object
+storage slower than S3.
+"""
+
+from repro.analysis import render_table
+from repro.analysis.bench import deploy_fk, label, sweep_read_latency
+from repro.cloud import Cloud
+from repro.zookeeper import deploy_zookeeper
+
+SIZES = (1024, 16 * 1024, 64 * 1024, 128 * 1024, 250 * 1024)
+REPS = 80
+
+
+def _zookeeper_reads(provider_seed):
+    cloud = Cloud.aws(seed=provider_seed)
+    zk = deploy_zookeeper(cloud, n_servers=3)
+    client = zk.connect(server_index=0)
+    client.create("/bench", b"")
+    out = {}
+    from repro.analysis import summarize
+    from repro.analysis.bench import timed
+
+    for size in SIZES:
+        client.set_data("/bench", b"x" * size)
+        out[size] = summarize([
+            timed(cloud, lambda: client.get_data("/bench"))
+            for _ in range(REPS)])
+    return out
+
+
+def run():
+    results = {}
+    for backend in ("dynamodb", "s3", "redis", "hybrid"):
+        cloud, service, client = deploy_fk(seed=8, user_store=backend)
+        results[f"aws:{backend}"] = sweep_read_latency(
+            client, cloud, SIZES, reps=REPS)
+    results["aws:zookeeper"] = _zookeeper_reads(88)
+
+    for backend in ("dynamodb", "s3"):
+        cloud, service, client = deploy_fk(seed=9, provider="gcp",
+                                           user_store=backend)
+        name = "datastore" if backend == "dynamodb" else "cloud_storage"
+        results[f"gcp:{name}"] = sweep_read_latency(
+            client, cloud, SIZES, reps=REPS)
+
+    print()
+    rows = []
+    for system in sorted(results):
+        for size in SIZES:
+            s = results[system][size]
+            rows.append([system, label(size), s.p50, s.p99])
+    print(render_table(["system", "size", "p50 ms", "p99 ms"], rows,
+                       title="Figure 8: get_data latency by user store"))
+    return results
+
+
+def test_fig8_read_latency(benchmark):
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    small = SIZES[0]
+    # Ranking on small nodes: ZK ~ Redis < DynamoDB < S3.
+    assert r["aws:zookeeper"][small].p50 < 2.5
+    assert r["aws:redis"][small].p50 < 2.5
+    assert 3.5 < r["aws:dynamodb"][small].p50 < 9.0
+    assert 9.0 < r["aws:s3"][small].p50 < 18.0
+    # Redis/FaaSKeeper on par with self-hosted ZooKeeper (within ~2x).
+    assert r["aws:redis"][small].p50 < 3 * r["aws:zookeeper"][small].p50
+    # Hybrid equals DynamoDB for small nodes, near S3 for large ones.
+    assert abs(r["aws:hybrid"][small].p50 - r["aws:dynamodb"][small].p50) < 3
+    big = SIZES[-1]
+    assert r["aws:hybrid"][big].p50 > r["aws:dynamodb"][big].p50
+    # GCP: Datastore ~2.3x slower than DynamoDB on small nodes...
+    ratio = r["gcp:datastore"][small].p50 / r["aws:dynamodb"][small].p50
+    assert 1.6 < ratio < 3.2
+    # ...and GCP object storage slower than AWS S3.
+    assert r["gcp:cloud_storage"][small].p50 > r["aws:s3"][small].p50

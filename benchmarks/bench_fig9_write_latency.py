@@ -1,0 +1,95 @@
+"""Figure 9: write operations in FaaSKeeper and ZooKeeper.
+
+``set_data`` latency for node sizes 4 B - 250 kB under 512/1024/2048 MB
+function configurations, against ZooKeeper; plus the cost distribution of
+100,000 requests (queue / DynamoDB / S3 / follower / leader).  Shape
+checks: ZooKeeper is 1-2 orders of magnitude faster; more memory cuts
+write time ~20-30 %; storage dominates the cost split (40-80 %).
+"""
+
+from repro.analysis import render_table, summarize
+from repro.analysis.bench import (
+    collect_write_costs,
+    deploy_fk,
+    label,
+    sweep_write_latency,
+    timed,
+)
+from repro.cloud import Cloud
+from repro.zookeeper import deploy_zookeeper
+
+SIZES = (4, 1024, 64 * 1024, 128 * 1024, 250 * 1024)
+MEMORIES = (512, 1024, 2048)
+REPS = 30
+
+
+def run():
+    latencies = {}
+    for memory in MEMORIES:
+        cloud, service, client = deploy_fk(
+            seed=90 + memory, user_store="s3", function_memory_mb=memory)
+        latencies[f"fk-{memory}MB"] = sweep_write_latency(
+            client, cloud, SIZES, reps=REPS)
+
+    cloud = Cloud.aws(seed=91)
+    zk = deploy_zookeeper(cloud, n_servers=3)
+    zclient = zk.connect(server_index=0)
+    zclient.create("/bench", b"")
+    latencies["zookeeper"] = {
+        size: summarize([
+            timed(cloud, lambda: zclient.set_data("/bench", b"x" * size))
+            for _ in range(REPS)])
+        for size in SIZES
+    }
+
+    print()
+    rows = []
+    for system in sorted(latencies):
+        for size in SIZES:
+            s = latencies[system][size]
+            rows.append([system, label(size), s.p50, s.p95, s.p99])
+    print(render_table(["system", "size", "p50 ms", "p95 ms", "p99 ms"],
+                       rows, title="Figure 9: set_data write latency"))
+
+    # cost split of 100,000 requests
+    cost_rows = []
+    costs = {}
+    for memory in (512, 2048):
+        for size in (4, 64 * 1024, 250 * 1024):
+            cloud, service, client = deploy_fk(
+                seed=92, user_store="s3", function_memory_mb=memory)
+            split = collect_write_costs(service, client, cloud, size, reps=20)
+            costs[(size, memory)] = split
+            cost_rows.append(
+                [label(size), memory, round(split["total"], 2),
+                 *(f"{100*split[k]/split['total']:.0f}%"
+                   for k in ("queue", "system_store", "user_store",
+                             "follower", "leader"))])
+    print(render_table(
+        ["size", "MB", "$/100K", "queue", "ddb", "s3", "follower", "leader"],
+        cost_rows, title="Figure 9 (right): cost split of 100K writes"))
+    return latencies, costs
+
+
+def test_fig9_write_latency(benchmark):
+    latencies, costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    # ZooKeeper writes are 1-2 orders of magnitude faster than FaaSKeeper.
+    for size in SIZES:
+        ratio = latencies["fk-2048MB"][size].p50 / latencies["zookeeper"][size].p50
+        assert ratio > 8
+    # FaaSKeeper small-node writes are ~100 ms-scale.
+    assert 60 < latencies["fk-2048MB"][4].p50 < 220
+    # Total write time decreases 15-35% from 512 to 2048 MB (paper: 22-28%).
+    for size in (1024, 64 * 1024):
+        small = latencies["fk-512MB"][size].p50
+        large = latencies["fk-2048MB"][size].p50
+        assert 0.10 < (small - large) / small < 0.40
+    # Storage operations are responsible for 40-80% of the cost.
+    for split in costs.values():
+        storage = split["queue"] + split["system_store"] + split["user_store"]
+        assert 0.40 < storage / split["total"] < 0.95
+    # Large nodes cost more than small ones.
+    assert costs[(250 * 1024, 2048)]["total"] > costs[(4, 2048)]["total"]
+    # The simulated dollar total for 100K 4B writes is near the paper's
+    # $1.1-1.4 band at 512 MB.
+    assert 0.8 < costs[(4, 512)]["total"] < 1.8

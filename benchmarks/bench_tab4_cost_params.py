@@ -1,0 +1,44 @@
+"""Table 4: parameters of the FaaSKeeper cost model.
+
+Regenerates the parameter table and the per-100K-request dollar figures the
+paper quotes in Section 5.3.4 ($0.04 reads, $1.12 standard writes, $0.72
+hybrid writes).
+"""
+
+from repro.analysis import render_table
+from repro.costmodel import AWS_COST_PARAMS, q_sqs, r_dd, r_s3, w_dd, w_s3
+
+
+def run():
+    rows = [
+        ["W_S3(s)", "Writing data to S3", w_s3(1.0)],
+        ["R_S3(s)", "Reading data from S3", r_s3(1.0)],
+        ["W_DD(s)", "Writing data to DynamoDB (per kB)", w_dd(1.0)],
+        ["R_DD(s)", "Reading data from DynamoDB (per 4 kB)", r_dd(1.0)],
+        ["Q(s)", "Push to queue (per 64 kB)", q_sqs(1.0)],
+        ["F_W+F_D std", "Follower+leader per write (512 MB)",
+         AWS_COST_PARAMS.fn_write_std],
+        ["F_W+F_D hyb", "Follower+leader per write, hybrid",
+         AWS_COST_PARAMS.fn_write_hybrid],
+    ]
+    print()
+    print(render_table(["param", "description", "$ / op"], rows,
+                       title="Table 4: FaaSKeeper cost model parameters"))
+    dollars = {
+        "100K reads (std)": 1e5 * AWS_COST_PARAMS.read_cost(1.0, False),
+        "100K reads (hybrid)": 1e5 * AWS_COST_PARAMS.read_cost(1.0, True),
+        "100K writes (std)": 1e5 * AWS_COST_PARAMS.write_cost(1.0, False),
+        "100K writes (hybrid)": 1e5 * AWS_COST_PARAMS.write_cost(1.0, True),
+    }
+    print(render_table(["workload", "$"],
+                       [[k, v] for k, v in dollars.items()],
+                       title="Section 5.3.4 workload dollars"))
+    return dollars
+
+
+def test_tab4_cost_params(benchmark):
+    dollars = benchmark.pedantic(run, rounds=1, iterations=1)
+    # paper-quoted values
+    assert abs(dollars["100K reads (std)"] - 0.04) < 0.001
+    assert abs(dollars["100K writes (std)"] - 1.12) < 0.02
+    assert abs(dollars["100K writes (hybrid)"] - 0.72) < 0.02

@@ -1,0 +1,58 @@
+"""Cost explorer: when does serverless coordination pay off?
+
+Reproduces the Section 5.3.4 analysis interactively: sweep daily request
+volume and read/write mix, print the ZooKeeper-vs-FaaSKeeper cost ratio
+(Figure 14) and the break-even points, for both standard (S3) and hybrid
+user storage.
+
+Run with::
+
+    python examples/cost_explorer.py [--requests 500000] [--reads 0.95]
+"""
+
+import argparse
+
+from repro.analysis import render_heatmap
+from repro.costmodel import (
+    FIGURE14_DEPLOYMENTS,
+    FIGURE14_REQUESTS,
+    BreakevenModel,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=500_000,
+                        help="daily request volume for the summary line")
+    parser.add_argument("--reads", type=float, default=0.95,
+                        help="read fraction of the workload")
+    args = parser.parse_args()
+
+    model = BreakevenModel()
+    rows = [f"{n} x {vm}" for n, vm in FIGURE14_DEPLOYMENTS]
+    cols = [f"{r//1000}K" if r < 1e6 else f"{r//10**6}M"
+            for r in FIGURE14_REQUESTS]
+
+    for hybrid in (False, True):
+        mode = "hybrid" if hybrid else "standard"
+        matrix = model.matrix(args.reads, hybrid)
+        print(render_heatmap(
+            rows, cols, matrix,
+            title=f"ZooKeeper/FaaSKeeper cost ratio, "
+                  f"{args.reads:.0%} reads, {mode} storage"))
+        be = model.breakeven_requests(args.reads, hybrid)
+        print(f"break-even vs 3 x t3.small: {be/1e6:.2f}M requests/day\n")
+
+    fk_std = model.faaskeeper_daily(args.requests, args.reads, hybrid=False)
+    fk_hyb = model.faaskeeper_daily(args.requests, args.reads, hybrid=True)
+    zk = model.params.zookeeper_daily(3, "t3.small")
+    print(f"at {args.requests:,} requests/day ({args.reads:.0%} reads):")
+    print(f"  FaaSKeeper standard  ${fk_std:8.4f}/day")
+    print(f"  FaaSKeeper hybrid    ${fk_hyb:8.4f}/day")
+    print(f"  ZooKeeper 3xsmall    ${zk:8.2f}/day")
+    winner = "FaaSKeeper" if min(fk_std, fk_hyb) < zk else "ZooKeeper"
+    print(f"  cheapest: {winner}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Leader election on FaaSKeeper — the classic ZooKeeper recipe.
+
+Each candidate creates an ephemeral sequential node under ``/election``;
+the owner of the smallest sequence number is the leader.  Every other
+candidate watches its immediate predecessor, so a leader crash wakes
+exactly one successor (no herd effect).
+
+The demo elects a leader among three candidates, kills it (stops answering
+heartbeats), and shows the next candidate taking over — exercising
+ephemeral cleanup, watches, and the heartbeat function end to end.
+"""
+
+from repro.cloud import Cloud
+from repro.faaskeeper import FaaSKeeperConfig, FaaSKeeperService
+
+
+class Candidate:
+    def __init__(self, fk, name: str):
+        self.fk = fk
+        self.name = name
+        self.client = fk.connect()
+        self.my_node = None
+        self.is_leader = False
+
+    def enlist(self) -> None:
+        self.my_node = self.client.create(
+            "/election/candidate-", self.name.encode(),
+            ephemeral=True, sequence=True)
+        self.check()
+
+    def check(self, _event=None) -> None:
+        """(Re)evaluate leadership; watch the predecessor otherwise."""
+        if self.client.closed:
+            return
+        children = sorted(self.client.get_children("/election"))
+        mine = self.my_node.rsplit("/", 1)[1]
+        index = children.index(mine)
+        if index == 0:
+            self.is_leader = True
+            print(f"  {self.name}: I am the leader ({mine})")
+            return
+        predecessor = f"/election/{children[index - 1]}"
+        stat = self.client.exists(predecessor, watch=self.check)
+        if stat is None:
+            self.check()  # predecessor vanished while we looked
+        else:
+            print(f"  {self.name}: standing by, watching {predecessor}")
+
+    def crash(self) -> None:
+        print(f"  {self.name}: crashing (stops heartbeats)")
+        self.client.alive = False
+
+
+def main() -> None:
+    cloud = Cloud.aws(seed=7)
+    fk = FaaSKeeperService.deploy(cloud, FaaSKeeperConfig(user_store="dynamodb"))
+    bootstrap = fk.connect()
+    bootstrap.create("/election", b"")
+
+    print("enlisting candidates:")
+    candidates = [Candidate(fk, f"node-{i}") for i in range(3)]
+    for c in candidates:
+        c.enlist()
+
+    leader = next(c for c in candidates if c.is_leader)
+    print(f"\nelected: {leader.name}")
+
+    # Kill the leader; the heartbeat function evicts its session and the
+    # successor's watch fires.
+    leader.crash()
+    cloud.run(until=cloud.now + 3 * 60_000)  # a few heartbeat periods
+
+    new_leader = next(c for c in candidates if c.is_leader and c is not leader)
+    print(f"took over: {new_leader.name}")
+    survivors = bootstrap.get_children("/election")
+    print(f"remaining candidates: {survivors}")
+    assert len(survivors) == 2
+
+    print(f"\nsimulated time: {cloud.now / 1000:.1f} s, "
+          f"cost ${cloud.meter.total:.6f}")
+
+
+if __name__ == "__main__":
+    main()

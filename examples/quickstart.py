@@ -1,0 +1,59 @@
+"""Quickstart: deploy FaaSKeeper on the simulated cloud and use the client.
+
+Run with::
+
+    python examples/quickstart.py
+
+Everything below executes on a virtual clock — the "cloud" is the
+calibrated simulation from :mod:`repro.cloud`, so the printed latencies and
+dollar costs match the paper's AWS measurements, not your machine.
+"""
+
+from repro.cloud import Cloud
+from repro.faaskeeper import FaaSKeeperConfig, FaaSKeeperService
+
+
+def main() -> None:
+    # One simulated AWS deployment, hybrid user storage (Section 4.2).
+    cloud = Cloud.aws(seed=42)
+    config = FaaSKeeperConfig(user_store="hybrid", function_memory_mb=2048)
+    fk = FaaSKeeperService.deploy(cloud, config)
+
+    with fk.connect() as client:
+        # -- basic CRUD ----------------------------------------------------
+        client.create("/app", b"")
+        client.create("/app/config", b"retries=3")
+        data, stat = client.get_data("/app/config")
+        print(f"read {data!r} (version {stat.version}, txid {stat.modified_tx})")
+
+        result = client.set_data("/app/config", b"retries=5", version=0)
+        print(f"updated to version {result.version} at txid {result.txid}")
+
+        # -- watches ---------------------------------------------------------
+        events = []
+        client.get_data("/app/config", watch=events.append)
+        client.set_data("/app/config", b"retries=7")
+        cloud.run(until=cloud.now + 2_000)  # let the notification arrive
+        print(f"watch delivered: {events[0].type.value} on {events[0].path}")
+
+        # -- ephemeral + sequential nodes ------------------------------------
+        client.create("/app/workers", b"")
+        w1 = client.create("/app/workers/w-", ephemeral=True, sequence=True)
+        w2 = client.create("/app/workers/w-", ephemeral=True, sequence=True)
+        print(f"registered workers: {client.get_children('/app/workers')}")
+        assert w1 < w2  # sequence numbers are monotone
+
+    # Session closed: ephemeral nodes disappear.
+    observer = fk.connect()
+    cloud.run(until=cloud.now + 2_000)
+    print(f"after close: {observer.get_children('/app/workers')}")
+
+    print(f"\nsimulated time: {cloud.now / 1000:.1f} s")
+    print(f"metered cost:   ${cloud.meter.total:.6f}")
+    for service_name, dollars in sorted(fk.cost_breakdown().items()):
+        if dollars:
+            print(f"  {service_name:>14}: ${dollars:.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim for environments whose setuptools cannot build PEP 660 editable
+wheels (no `wheel` package available offline). `pip install -e .` falls back
+to `setup.py develop` via this file; all metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

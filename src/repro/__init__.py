@@ -1,0 +1,31 @@
+"""repro: a full reproduction of "FaaSKeeper: Learning from Building
+Serverless Services with ZooKeeper as an Example" (HPDC 2024).
+
+Subpackages
+-----------
+sim
+    Deterministic discrete-event simulation kernel.
+cloud
+    Simulated AWS/GCP substrate: key-value store, object store, queues,
+    functions, pricing — calibrated to the paper's measurements.
+primitives
+    Serverless synchronization primitives (timed lock, atomic counter/list).
+faaskeeper
+    The paper's contribution: follower/leader/watch/heartbeat functions and
+    the kazoo-like client.
+zookeeper
+    The IaaS baseline: a ZAB-style replicated ensemble.
+costmodel
+    Analytic cost models (Table 4, Figures 4a/13/14).
+workloads
+    YCSB, read/write mixes, the HBase coordination trace.
+analysis
+    Percentile summaries and table renderers used by benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim", "cloud", "primitives", "faaskeeper", "zookeeper",
+    "costmodel", "workloads", "analysis",
+]

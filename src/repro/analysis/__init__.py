@@ -1,0 +1,14 @@
+"""Result summarization and table rendering for the benchmark harnesses."""
+
+from .stats import LatencySummary, crossover, summarize, who_wins
+from .tables import fmt, render_heatmap, render_table
+
+__all__ = [
+    "LatencySummary",
+    "summarize",
+    "crossover",
+    "who_wins",
+    "render_table",
+    "render_heatmap",
+    "fmt",
+]

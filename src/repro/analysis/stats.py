@@ -1,0 +1,60 @@
+"""Percentile summaries and series-shape assertions for the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.rng import percentile
+
+__all__ = ["summarize", "LatencySummary", "crossover", "who_wins"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The row shape of the paper's latency tables."""
+
+    n: int
+    min: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    max: float
+
+    def row(self, digits: int = 2) -> List[float]:
+        return [round(v, digits) for v in
+                (self.min, self.p50, self.p90, self.p95, self.p99, self.max)]
+
+
+def summarize(samples: Sequence[float]) -> LatencySummary:
+    if not samples:
+        raise ValueError("no samples to summarize")
+    return LatencySummary(
+        n=len(samples),
+        min=min(samples),
+        p50=percentile(samples, 50),
+        p90=percentile(samples, 90),
+        p95=percentile(samples, 95),
+        p99=percentile(samples, 99),
+        max=max(samples),
+    )
+
+
+def crossover(xs: Sequence[float], a: Sequence[float], b: Sequence[float]
+              ) -> Optional[float]:
+    """x position where series ``a`` crosses series ``b`` (linear interp)."""
+    for i in range(1, len(xs)):
+        d0 = a[i - 1] - b[i - 1]
+        d1 = a[i] - b[i]
+        if d0 == 0:
+            return xs[i - 1]
+        if d0 * d1 < 0:
+            frac = abs(d0) / (abs(d0) + abs(d1))
+            return xs[i - 1] + frac * (xs[i] - xs[i - 1])
+    return None
+
+
+def who_wins(series: Dict[str, float]) -> str:
+    """Name of the smallest-valued series (the latency/cost winner)."""
+    return min(series, key=series.get)

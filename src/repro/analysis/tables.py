@@ -1,0 +1,51 @@
+"""ASCII table rendering for the benchmark harnesses.
+
+Every bench prints the same rows/series the paper's table or figure shows,
+in a diff-friendly plain-text layout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["render_table", "render_heatmap", "fmt"]
+
+
+def fmt(value: Any, digits: int = 2) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None, digits: int = 2) -> str:
+    str_rows = [[fmt(c, digits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def render_heatmap(row_labels: Sequence[str], col_labels: Sequence[str],
+                   matrix: Sequence[Sequence[float]],
+                   title: Optional[str] = None, digits: int = 2) -> str:
+    headers = [""] + list(col_labels)
+    rows = [[label] + list(row) for label, row in zip(row_labels, matrix)]
+    return render_table(headers, rows, title=title, digits=digits)

@@ -1,0 +1,82 @@
+"""Simulated cloud substrate: storage, queues, functions, pricing.
+
+This package is the stand-in for AWS/GCP in the reproduction (see
+DESIGN.md's substitution table).  Services live on a shared DES clock and
+draw latencies from models calibrated to the paper's measurements.
+"""
+
+from .cache import InMemoryCache
+from .calibration import CloudProfile, aws_profile, gcp_profile, io_multiplier
+from .cloud import Cloud
+from .context import CLIENT_CTX, OpContext
+from .errors import (
+    CloudError,
+    ConditionFailed,
+    FunctionCrash,
+    ItemTooLarge,
+    NoSuchBucket,
+    NoSuchObject,
+    NoSuchTable,
+    PayloadTooLarge,
+)
+from .expressions import (
+    Add,
+    Attr,
+    ListAppend,
+    ListPopHead,
+    ListRemove,
+    Remove,
+    Set,
+    SetIfNotExists,
+    item_size_kb,
+)
+from .functions import DeployedFunction, FunctionContext, FunctionRuntime, FunctionSpec
+from .kvstore import KeyValueStore, StreamRecord, Table
+from .objectstore import ObjectStore
+from .pricing import AWS_PRICES, GCP_PRICES, CostMeter, PriceSheet, VM_DAY_RATE
+from .queues import FifoQueue, Message, StandardQueue, StreamTrigger
+
+__all__ = [
+    "Cloud",
+    "CloudProfile",
+    "aws_profile",
+    "gcp_profile",
+    "io_multiplier",
+    "OpContext",
+    "CLIENT_CTX",
+    "CloudError",
+    "ConditionFailed",
+    "FunctionCrash",
+    "ItemTooLarge",
+    "NoSuchBucket",
+    "NoSuchObject",
+    "NoSuchTable",
+    "PayloadTooLarge",
+    "Attr",
+    "Set",
+    "SetIfNotExists",
+    "Add",
+    "Remove",
+    "ListAppend",
+    "ListRemove",
+    "ListPopHead",
+    "item_size_kb",
+    "KeyValueStore",
+    "Table",
+    "StreamRecord",
+    "ObjectStore",
+    "InMemoryCache",
+    "FunctionRuntime",
+    "FunctionSpec",
+    "FunctionContext",
+    "DeployedFunction",
+    "FifoQueue",
+    "StandardQueue",
+    "StreamTrigger",
+    "Message",
+    "CostMeter",
+    "PriceSheet",
+    "AWS_PRICES",
+    "GCP_PRICES",
+    "VM_DAY_RATE",
+]

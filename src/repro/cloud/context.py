@@ -1,0 +1,37 @@
+"""Operation context: who is calling a service, from where, at what speed.
+
+Every service generator takes an :class:`OpContext` as its first argument.
+The context carries:
+
+* ``payer`` — the cost-meter service label charged for the operation
+  (e.g. ``"s3"`` vs ``"s3:system"``), letting benchmarks split costs the way
+  Figures 9/11 do;
+* ``io_mult`` — latency multiplier of the caller (functions with small
+  memory allocations do I/O slower, Section 5.3.2);
+* ``region`` — caller region; a mismatch with the service's region adds the
+  inter-region penalty of Figure 4b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["OpContext", "CLIENT_CTX"]
+
+
+@dataclass(frozen=True)
+class OpContext:
+    payer: str | None = None
+    io_mult: float = 1.0
+    region: str | None = None
+    arch: str = "x86"
+
+    def with_payer(self, payer: str) -> "OpContext":
+        return replace(self, payer=payer)
+
+    def with_region(self, region: str) -> "OpContext":
+        return replace(self, region=region)
+
+
+#: Default context for direct client calls (full-speed I/O, no attribution).
+CLIENT_CTX = OpContext()

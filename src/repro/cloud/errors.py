@@ -1,0 +1,64 @@
+"""Exceptions raised by the simulated cloud services."""
+
+from __future__ import annotations
+
+__all__ = [
+    "CloudError",
+    "ConditionFailed",
+    "ItemTooLarge",
+    "NoSuchItem",
+    "NoSuchBucket",
+    "NoSuchObject",
+    "NoSuchTable",
+    "PayloadTooLarge",
+    "FunctionCrash",
+    "ThrottlingError",
+]
+
+
+class CloudError(Exception):
+    """Base class for simulated service errors."""
+
+
+class ConditionFailed(CloudError):
+    """A conditional update's condition evaluated to false.
+
+    Mirrors DynamoDB's ``ConditionalCheckFailedException`` — the primitive
+    the paper's timed locks are built on.
+    """
+
+    def __init__(self, message: str = "conditional check failed", item=None) -> None:
+        super().__init__(message)
+        self.item = item
+
+
+class ItemTooLarge(CloudError):
+    """Item exceeds the store's size limit (400 kB DynamoDB / 1 MB Datastore)."""
+
+
+class NoSuchTable(CloudError):
+    pass
+
+
+class NoSuchItem(CloudError):
+    pass
+
+
+class NoSuchBucket(CloudError):
+    pass
+
+
+class NoSuchObject(CloudError):
+    pass
+
+
+class PayloadTooLarge(CloudError):
+    """Queue message exceeds the provider payload limit (256 kB SQS)."""
+
+
+class FunctionCrash(CloudError):
+    """Injected function failure (used by fault-tolerance tests)."""
+
+
+class ThrottlingError(CloudError):
+    """Request rejected by a throughput ceiling."""

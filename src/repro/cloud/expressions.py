@@ -1,0 +1,389 @@
+"""Condition and update expressions for the key-value store.
+
+This is the semantic core of DynamoDB's *update expressions* (the paper's
+Table 2 row "Concurrency primitives: conditional updates"): a structured,
+composable mini-language with
+
+* **conditions** — attribute existence, comparisons, boolean combinators —
+  evaluated atomically against the current item; and
+* **update actions** — ``SET``, ``ADD`` (atomic numeric add), ``REMOVE``,
+  ``LIST_APPEND``, ``LIST_REMOVE`` — applied atomically iff the condition
+  holds.
+
+The paper's synchronization primitives (timed lock, atomic counter, atomic
+list, Section 3.3) are implemented purely in terms of these expressions in
+:mod:`repro.primitives`.
+
+We deliberately implement the expressions as Python objects rather than a
+string parser: the semantics (what FaaSKeeper relies on) are identical and
+the construction is type-checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Attr",
+    "Condition",
+    "And",
+    "Or",
+    "Not",
+    "Always",
+    "UpdateAction",
+    "Set",
+    "SetIfNotExists",
+    "Add",
+    "Remove",
+    "ListAppend",
+    "ListRemove",
+    "ListPopHead",
+    "apply_updates",
+    "item_size_kb",
+]
+
+
+# --------------------------------------------------------------------------
+# Conditions
+# --------------------------------------------------------------------------
+class Condition:
+    """Base condition; supports ``&``, ``|`` and ``~`` composition."""
+
+    def evaluate(self, item: Optional[Dict[str, Any]]) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return And(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or(self, other)
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Always(Condition):
+    """Unconditional (used when no condition is supplied)."""
+
+    def evaluate(self, item: Optional[Dict[str, Any]]) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    left: Condition
+    right: Condition
+
+    def evaluate(self, item: Optional[Dict[str, Any]]) -> bool:
+        return self.left.evaluate(item) and self.right.evaluate(item)
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    left: Condition
+    right: Condition
+
+    def evaluate(self, item: Optional[Dict[str, Any]]) -> bool:
+        return self.left.evaluate(item) or self.right.evaluate(item)
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    inner: Condition
+
+    def evaluate(self, item: Optional[Dict[str, Any]]) -> bool:
+        return not self.inner.evaluate(item)
+
+
+_MISSING = object()
+
+
+def _get(item: Optional[Dict[str, Any]], path: str) -> Any:
+    """Resolve a dotted attribute path; returns _MISSING when absent."""
+    if item is None:
+        return _MISSING
+    node: Any = item
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return _MISSING
+        node = node[part]
+    return node
+
+
+@dataclass(frozen=True)
+class _Compare(Condition):
+    path: str
+    op: str
+    value: Any
+
+    def evaluate(self, item: Optional[Dict[str, Any]]) -> bool:
+        current = _get(item, self.path)
+        if current is _MISSING:
+            return False
+        if self.op == "==":
+            return current == self.value
+        if self.op == "!=":
+            return current != self.value
+        if self.op == "<":
+            return current < self.value
+        if self.op == "<=":
+            return current <= self.value
+        if self.op == ">":
+            return current > self.value
+        if self.op == ">=":
+            return current >= self.value
+        raise ValueError(f"unknown comparison {self.op!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class _ItemExists(Condition):
+    """True iff the item itself exists (any attributes)."""
+
+    def evaluate(self, item: Optional[Dict[str, Any]]) -> bool:
+        return item is not None
+
+
+@dataclass(frozen=True)
+class _Exists(Condition):
+    path: str
+    exists: bool
+
+    def evaluate(self, item: Optional[Dict[str, Any]]) -> bool:
+        present = _get(item, self.path) is not _MISSING
+        return present == self.exists
+
+
+@dataclass(frozen=True)
+class _Contains(Condition):
+    path: str
+    value: Any
+
+    def evaluate(self, item: Optional[Dict[str, Any]]) -> bool:
+        current = _get(item, self.path)
+        if current is _MISSING:
+            return False
+        try:
+            return self.value in current
+        except TypeError:
+            return False
+
+
+class Attr:
+    """Condition builder for one attribute path (DynamoDB-style).
+
+    Examples::
+
+        Attr("lock").not_exists() | (Attr("lock.timestamp") < now - limit)
+        Attr("version") == expected
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def exists(self) -> Condition:
+        return _Exists(self.path, True)
+
+    def not_exists(self) -> Condition:
+        return _Exists(self.path, False)
+
+    def contains(self, value: Any) -> Condition:
+        return _Contains(self.path, value)
+
+    def between(self, low: Any, high: Any) -> Condition:
+        return And(_Compare(self.path, ">=", low), _Compare(self.path, "<=", high))
+
+    def __eq__(self, value: Any) -> Condition:  # type: ignore[override]
+        return _Compare(self.path, "==", value)
+
+    def __ne__(self, value: Any) -> Condition:  # type: ignore[override]
+        return _Compare(self.path, "!=", value)
+
+    def __lt__(self, value: Any) -> Condition:
+        return _Compare(self.path, "<", value)
+
+    def __le__(self, value: Any) -> Condition:
+        return _Compare(self.path, "<=", value)
+
+    def __gt__(self, value: Any) -> Condition:
+        return _Compare(self.path, ">", value)
+
+    def __ge__(self, value: Any) -> Condition:
+        return _Compare(self.path, ">=", value)
+
+    def __hash__(self) -> int:  # Attr instances are builders, hash by path
+        return hash(("Attr", self.path))
+
+
+def item_exists() -> Condition:
+    """Condition on the presence of the whole item."""
+    return _ItemExists()
+
+
+# --------------------------------------------------------------------------
+# Update actions
+# --------------------------------------------------------------------------
+class UpdateAction:
+    """Base update action; mutates an item dict in place."""
+
+    path: str
+
+    def apply(self, item: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+
+def _set_path(item: Dict[str, Any], path: str, value: Any) -> None:
+    parts = path.split(".")
+    node = item
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+        if not isinstance(node, dict):
+            raise TypeError(f"cannot descend into non-map attribute {part!r}")
+    node[parts[-1]] = value
+
+
+def _del_path(item: Dict[str, Any], path: str) -> None:
+    parts = path.split(".")
+    node: Any = item
+    for part in parts[:-1]:
+        if not isinstance(node, dict) or part not in node:
+            return
+        node = node[part]
+    if isinstance(node, dict):
+        node.pop(parts[-1], None)
+
+
+@dataclass(frozen=True)
+class Set(UpdateAction):
+    path: str
+    value: Any
+
+    def apply(self, item: Dict[str, Any]) -> None:
+        _set_path(item, self.path, self.value)
+
+
+@dataclass(frozen=True)
+class SetIfNotExists(UpdateAction):
+    path: str
+    value: Any
+
+    def apply(self, item: Dict[str, Any]) -> None:
+        if _get(item, self.path) is _MISSING:
+            _set_path(item, self.path, self.value)
+
+
+@dataclass(frozen=True)
+class Add(UpdateAction):
+    """Atomic numeric add (DynamoDB ``ADD``); missing attribute counts as 0."""
+
+    path: str
+    delta: float
+
+    def apply(self, item: Dict[str, Any]) -> None:
+        current = _get(item, self.path)
+        base = 0 if current is _MISSING else current
+        if not isinstance(base, (int, float)):
+            raise TypeError(f"ADD on non-numeric attribute {self.path!r}")
+        _set_path(item, self.path, base + self.delta)
+
+
+@dataclass(frozen=True)
+class Remove(UpdateAction):
+    path: str
+
+    def apply(self, item: Dict[str, Any]) -> None:
+        _del_path(item, self.path)
+
+
+@dataclass(frozen=True)
+class ListAppend(UpdateAction):
+    """Append values to a list attribute, creating it when missing."""
+
+    path: str
+    values: Tuple[Any, ...]
+
+    def __init__(self, path: str, values: Iterable[Any]) -> None:
+        object.__setattr__(self, "path", path)
+        object.__setattr__(self, "values", tuple(values))
+
+    def apply(self, item: Dict[str, Any]) -> None:
+        current = _get(item, self.path)
+        base = [] if current is _MISSING else list(current)
+        base.extend(self.values)
+        _set_path(item, self.path, base)
+
+
+@dataclass(frozen=True)
+class ListRemove(UpdateAction):
+    """Remove (first occurrences of) the given values from a list attribute."""
+
+    path: str
+    values: Tuple[Any, ...]
+
+    def __init__(self, path: str, values: Iterable[Any]) -> None:
+        object.__setattr__(self, "path", path)
+        object.__setattr__(self, "values", tuple(values))
+
+    def apply(self, item: Dict[str, Any]) -> None:
+        current = _get(item, self.path)
+        if current is _MISSING:
+            return
+        base = list(current)
+        for v in self.values:
+            try:
+                base.remove(v)
+            except ValueError:
+                pass
+        _set_path(item, self.path, base)
+
+
+@dataclass(frozen=True)
+class ListPopHead(UpdateAction):
+    """Drop the first ``count`` elements of a list attribute (queue pop)."""
+
+    path: str
+    count: int = 1
+
+    def apply(self, item: Dict[str, Any]) -> None:
+        current = _get(item, self.path)
+        if current is _MISSING:
+            return
+        _set_path(item, self.path, list(current)[self.count:])
+
+
+def apply_updates(item: Dict[str, Any], updates: Sequence[UpdateAction]) -> Dict[str, Any]:
+    """Apply all actions in order; returns the same dict for convenience."""
+    for action in updates:
+        action.apply(item)
+    return item
+
+
+# --------------------------------------------------------------------------
+# Size accounting (drives per-kB billing and bandwidth latency terms)
+# --------------------------------------------------------------------------
+def _value_size_bytes(value: Any) -> int:
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8", errors="replace"))
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, (list, tuple)):
+        return 3 + sum(_value_size_bytes(v) for v in value)
+    if isinstance(value, dict):
+        return 3 + sum(
+            _value_size_bytes(k) + _value_size_bytes(v) for k, v in value.items()
+        )
+    return 8  # opaque objects: count a word
+
+
+def item_size_kb(item: Optional[Dict[str, Any]]) -> float:
+    """Approximate billable size of an item, in kB."""
+    if item is None:
+        return 0.0
+    return _value_size_bytes(item) / 1024.0

@@ -1,0 +1,387 @@
+"""Simulated key-value store (DynamoDB / Datastore).
+
+Provides the semantics FaaSKeeper's system storage needs (Section 3.3):
+
+* atomic per-item updates with **condition expressions** — the substrate of
+  the timed lock;
+* **update expressions** (SET/ADD/LIST_APPEND/...) — the substrate of atomic
+  counters and lists;
+* **strongly consistent reads** (required; eventual reads are provided to
+  demonstrate why they break Z2/Z3 — tested in the consistency suite);
+* per-kB billing, a 400 kB item limit, and a table throughput ceiling
+  (Figure 6b);
+* an optional **change stream** per table, the AWS "DynamoDB Streams"
+  invocation path of Table 7a.
+
+All mutating operations are generators: they charge latency on the virtual
+clock *before* applying the mutation atomically, so concurrent processes
+interleave exactly as a remote store would interleave their requests.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+from ..sim.kernel import Environment, Event
+from ..sim.resources import TokenBucketLimiter
+from .calibration import CloudProfile
+from .context import OpContext
+from .errors import ConditionFailed, ItemTooLarge, NoSuchTable
+from .expressions import (
+    Always,
+    Condition,
+    UpdateAction,
+    apply_updates,
+    item_size_kb,
+)
+from .pricing import CostMeter
+
+__all__ = ["KeyValueStore", "Table", "StreamRecord"]
+
+
+@dataclass
+class StreamRecord:
+    """A change record emitted to a table's stream (DynamoDB Streams)."""
+
+    table: str
+    key: str
+    old_image: Optional[Dict[str, Any]]
+    new_image: Optional[Dict[str, Any]]
+    sequence: int
+    timestamp: float
+
+
+@dataclass
+class _Versioned:
+    value: Dict[str, Any]
+    written_at: float
+    previous: Optional[Dict[str, Any]] = None
+    previous_at: float = 0.0
+
+
+class Table:
+    """One table: a dict of key -> attribute map plus stream subscribers."""
+
+    def __init__(self, name: str, env: Environment, capacity_per_s: float) -> None:
+        self.name = name
+        self._env = env
+        self._items: Dict[str, _Versioned] = {}
+        self.limiter = TokenBucketLimiter(env, rate_per_s=capacity_per_s, burst=capacity_per_s / 10)
+        self.stream_listeners: List[Callable[[StreamRecord], None]] = []
+        self._stream_seq = 0
+        self.write_count = 0
+        self.read_count = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def keys(self) -> List[str]:
+        return list(self._items.keys())
+
+    def raw(self, key: str) -> Optional[Dict[str, Any]]:
+        """Direct (zero-latency) item access for assertions in tests."""
+        rec = self._items.get(key)
+        return None if rec is None else rec.value
+
+    # -- internal mutation helpers -----------------------------------------
+    def _emit(self, key: str, old: Optional[Dict[str, Any]], new: Optional[Dict[str, Any]]) -> None:
+        if not self.stream_listeners:
+            return
+        self._stream_seq += 1
+        record = StreamRecord(
+            table=self.name,
+            key=key,
+            old_image=copy.deepcopy(old),
+            new_image=copy.deepcopy(new),
+            sequence=self._stream_seq,
+            timestamp=self._env.now,
+        )
+        for listener in self.stream_listeners:
+            listener(record)
+
+    def _store(self, key: str, value: Optional[Dict[str, Any]]) -> None:
+        old_rec = self._items.get(key)
+        old = old_rec.value if old_rec else None
+        if value is None:
+            self._items.pop(key, None)
+        else:
+            self._items[key] = _Versioned(
+                value=value,
+                written_at=self._env.now,
+                previous=old,
+                previous_at=old_rec.written_at if old_rec else 0.0,
+            )
+        self._emit(key, old, value)
+
+
+class KeyValueStore:
+    """The service facade: named tables + calibrated latency + billing."""
+
+    #: window (ms) within which an eventually-consistent read may serve the
+    #: previous version of an item (DynamoDB documents "usually <1 s").
+    EVENTUAL_STALENESS_MS = 500.0
+    EVENTUAL_STALE_P = 0.33
+
+    def __init__(
+        self,
+        env: Environment,
+        profile: CloudProfile,
+        meter: CostMeter,
+        rng,
+        region: str = "us-east-1",
+        service_label: str = "kv",
+    ) -> None:
+        self.env = env
+        self.profile = profile
+        self.meter = meter
+        self.rng = rng
+        self.region = region
+        self.service_label = service_label
+        self.tables: Dict[str, Table] = {}
+
+    # ------------------------------------------------------------ tables
+    def create_table(self, name: str, capacity_per_s: Optional[float] = None) -> Table:
+        if name in self.tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = Table(name, self.env, capacity_per_s or self.profile.kv_capacity_per_s)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise NoSuchTable(name) from None
+
+    # ------------------------------------------------------------ helpers
+    def _latency(self, ctx: OpContext, model, size_kb: float, extra_ms: float = 0.0) -> float:
+        value = model.sample(self.rng, size_kb) + extra_ms
+        value *= ctx.io_mult
+        if ctx.region is not None and ctx.region != self.region:
+            value += self.profile.inter_region_extra_ms
+            value += self.profile.inter_region_per_kb_ms * size_kb
+        return value
+
+    def _admit(self, table: Table, units: float = 1.0) -> float:
+        return table.limiter.admit(units)
+
+    def _charge_write(self, ctx: OpContext, size_kb: float) -> None:
+        self.meter.charge(ctx.payer or self.service_label, "kv_write",
+                          self.profile.prices.kv_write_cost(size_kb))
+
+    def _charge_read(self, ctx: OpContext, size_kb: float, consistent: bool) -> None:
+        self.meter.charge(ctx.payer or self.service_label, "kv_read",
+                          self.profile.prices.kv_read_cost(size_kb, consistent))
+
+    # ------------------------------------------------------------ operations
+    def get_item(
+        self,
+        ctx: OpContext,
+        table_name: str,
+        key: str,
+        consistent: bool = True,
+    ) -> Generator[Event, Any, Optional[Dict[str, Any]]]:
+        """Read one item; returns a deep copy or None.
+
+        Eventually-consistent reads may return the previous version of a
+        recently written item — the behaviour that rules them out for
+        FaaSKeeper's system storage (Section 3.3).
+        """
+        table = self.table(table_name)
+        rec = table._items.get(key)
+        size_kb = item_size_kb(rec.value if rec else None)
+        wait = self._admit(table, 1.0)
+        latency = self._latency(ctx, self.profile.kv_read, size_kb)
+        yield self.env.timeout(wait + latency)
+        table.read_count += 1
+        # Re-fetch after the delay: the read observes the state at completion
+        # time for strong reads, possibly stale state for eventual ones.
+        rec = table._items.get(key)
+        self._charge_read(ctx, size_kb, consistent)
+        if rec is None:
+            return None
+        if not consistent and rec.previous is not None:
+            age = self.env.now - rec.written_at
+            if age < self.EVENTUAL_STALENESS_MS and self.rng.random() < self.EVENTUAL_STALE_P:
+                return copy.deepcopy(rec.previous)
+        return copy.deepcopy(rec.value)
+
+    def put_item(
+        self,
+        ctx: OpContext,
+        table_name: str,
+        key: str,
+        attributes: Dict[str, Any],
+        condition: Optional[Condition] = None,
+    ) -> Generator[Event, Any, None]:
+        """Full-item write, optionally conditional."""
+        table = self.table(table_name)
+        size_kb = item_size_kb(attributes)
+        if size_kb > self.profile.kv_item_limit_kb:
+            raise ItemTooLarge(f"{size_kb:.1f} kB > {self.profile.kv_item_limit_kb} kB")
+        conditional = condition is not None
+        units = self.profile.kv_conditional_units if conditional else 1.0
+        extra = self.profile.kv_conditional_extra_ms if conditional else 0.0
+        wait = self._admit(table, units)
+        latency = self._latency(ctx, self.profile.kv_write, size_kb, extra)
+        yield self.env.timeout(wait + latency)
+        table.write_count += 1
+        self._charge_write(ctx, size_kb)
+        cond = condition or Always()
+        current = table._items.get(key)
+        if not cond.evaluate(current.value if current else None):
+            raise ConditionFailed(item=copy.deepcopy(current.value) if current else None)
+        table._store(key, copy.deepcopy(attributes))
+
+    def update_item(
+        self,
+        ctx: OpContext,
+        table_name: str,
+        key: str,
+        updates: Sequence[UpdateAction],
+        condition: Optional[Condition] = None,
+        atomic_hint: bool = False,
+        payload_kb: float = 0.0,
+        latency_model=None,
+    ) -> Generator[Event, Any, Dict[str, Any]]:
+        """Atomically apply update actions iff ``condition`` holds.
+
+        Returns the new item image (deep copy).  ``atomic_hint`` selects the
+        slightly cheaper latency profile of plain ADD updates (atomic
+        counters, Table 6a).  ``payload_kb`` lets callers override the billed
+        payload (list appends bill the appended data, not the whole item).
+        """
+        table = self.table(table_name)
+        current = table._items.get(key)
+        current_size = item_size_kb(current.value if current else None)
+        size_kb = payload_kb if payload_kb > 0 else current_size
+        conditional = condition is not None
+        units = self.profile.kv_conditional_units if conditional else 1.0
+        if conditional:
+            extra = self.profile.kv_conditional_extra_ms
+        elif atomic_hint:
+            extra = self.profile.kv_atomic_extra_ms
+        else:
+            extra = 0.0
+        model = latency_model or self.profile.kv_write
+        wait = self._admit(table, units)
+        latency = self._latency(ctx, model, size_kb, extra)
+        yield self.env.timeout(wait + latency)
+        table.write_count += 1
+        self._charge_write(ctx, max(size_kb, 0.001))
+        cond = condition or Always()
+        current = table._items.get(key)
+        current_value = current.value if current else None
+        if not cond.evaluate(current_value):
+            raise ConditionFailed(
+                item=copy.deepcopy(current_value) if current_value else None
+            )
+        new_value: Dict[str, Any] = copy.deepcopy(current_value) if current_value else {}
+        apply_updates(new_value, updates)
+        new_size = item_size_kb(new_value)
+        if new_size > self.profile.kv_item_limit_kb:
+            raise ItemTooLarge(f"{new_size:.1f} kB > {self.profile.kv_item_limit_kb} kB")
+        table._store(key, new_value)
+        return copy.deepcopy(new_value)
+
+    def delete_item(
+        self,
+        ctx: OpContext,
+        table_name: str,
+        key: str,
+        condition: Optional[Condition] = None,
+    ) -> Generator[Event, Any, None]:
+        table = self.table(table_name)
+        current = table._items.get(key)
+        size_kb = item_size_kb(current.value if current else None)
+        conditional = condition is not None
+        extra = self.profile.kv_conditional_extra_ms if conditional else 0.0
+        wait = self._admit(table)
+        latency = self._latency(ctx, self.profile.kv_write, min(size_kb, 1.0), extra)
+        yield self.env.timeout(wait + latency)
+        table.write_count += 1
+        self._charge_write(ctx, 1.0)
+        cond = condition or Always()
+        current = table._items.get(key)
+        if not cond.evaluate(current.value if current else None):
+            raise ConditionFailed()
+        table._store(key, None)
+
+    def transact_update(
+        self,
+        ctx: OpContext,
+        ops: Sequence[tuple],
+    ) -> Generator[Event, Any, List[Dict[str, Any]]]:
+        """Atomic multi-item conditional update (DynamoDB transactions).
+
+        ``ops`` is a sequence of ``(table, key, updates, condition)`` tuples.
+        All conditions are evaluated against the current state; if every one
+        holds, all updates apply atomically; otherwise nothing changes and
+        :class:`ConditionFailed` is raised.  The paper uses this for
+        multi-node commits (creating a node also updates the parent's child
+        list — Section 3.1).  Returns the new images, in op order.
+        """
+        if not ops:
+            return []
+        total_kb = 0.0
+        for table_name, key, _updates, _cond in ops:
+            table = self.table(table_name)
+            rec = table._items.get(key)
+            total_kb += item_size_kb(rec.value if rec else None)
+        # Transactions consume double capacity units and pay the conditional
+        # overhead once per item (DynamoDB bills 2x for transactional writes).
+        wait = 0.0
+        for table_name, _key, _u, _c in ops:
+            wait = max(wait, self._admit(self.table(table_name),
+                                         2.0 * self.profile.kv_conditional_units))
+        extra = self.profile.kv_conditional_extra_ms * len(ops)
+        latency = self._latency(ctx, self.profile.kv_write, total_kb, extra)
+        yield self.env.timeout(wait + latency)
+        # Atomic check-then-apply at a single instant of virtual time.
+        staged: List[tuple] = []
+        for table_name, key, updates, condition in ops:
+            table = self.table(table_name)
+            current = table._items.get(key)
+            current_value = current.value if current else None
+            cond = condition or Always()
+            if not cond.evaluate(current_value):
+                for t, _k, _u, _c in ops:
+                    self._charge_write(ctx, 1.0)  # failed transactions still bill
+                raise ConditionFailed(
+                    f"transaction condition failed on {table_name}/{key}",
+                    item=copy.deepcopy(current_value) if current_value else None,
+                )
+            new_value: Dict[str, Any] = copy.deepcopy(current_value) if current_value else {}
+            apply_updates(new_value, updates)
+            new_size = item_size_kb(new_value)
+            if new_size > self.profile.kv_item_limit_kb:
+                raise ItemTooLarge(f"{new_size:.1f} kB > {self.profile.kv_item_limit_kb} kB")
+            staged.append((table, key, new_value))
+        images = []
+        for table, key, new_value in staged:
+            table.write_count += 1
+            # transactional writes bill 2x write units
+            self.meter.charge(
+                ctx.payer or self.service_label, "kv_write",
+                2.0 * self.profile.prices.kv_write_cost(max(item_size_kb(new_value), 0.001)),
+            )
+            table._store(key, new_value)
+            images.append(copy.deepcopy(new_value))
+        return images
+
+    def scan(
+        self,
+        ctx: OpContext,
+        table_name: str,
+    ) -> Generator[Event, Any, Dict[str, Dict[str, Any]]]:
+        """Full-table scan: bills one read per 4 kB of total data."""
+        table = self.table(table_name)
+        total_kb = sum(item_size_kb(rec.value) for rec in table._items.values())
+        wait = self._admit(table, max(1.0, total_kb / 4.0))
+        latency = self._latency(ctx, self.profile.kv_read, total_kb)
+        yield self.env.timeout(wait + latency)
+        table.read_count += 1
+        self._charge_read(ctx, max(total_kb, 1.0), consistent=True)
+        return {k: copy.deepcopy(rec.value) for k, rec in table._items.items()}

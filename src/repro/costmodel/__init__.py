@@ -1,0 +1,25 @@
+"""Analytic cost models: Table 4 formulas, Figure 4a/13/14 computations."""
+
+from .breakeven import (
+    FIGURE14_DEPLOYMENTS,
+    FIGURE14_REQUESTS,
+    BreakevenModel,
+)
+from .monitoring import MonitoringCostModel
+from .params import AWS_COST_PARAMS, CostParams, q_sqs, r_dd, r_s3, w_dd, w_s3
+from .storage import StorageCostModel
+
+__all__ = [
+    "CostParams",
+    "AWS_COST_PARAMS",
+    "w_s3",
+    "r_s3",
+    "w_dd",
+    "r_dd",
+    "q_sqs",
+    "BreakevenModel",
+    "FIGURE14_REQUESTS",
+    "FIGURE14_DEPLOYMENTS",
+    "StorageCostModel",
+    "MonitoringCostModel",
+]

@@ -1,0 +1,62 @@
+"""Break-even analysis: the Figure 14 cost-ratio matrices.
+
+For a daily workload of ``requests`` operations at a given read fraction,
+the FaaSKeeper cost is requests * (f*Cost_R + (1-f)*Cost_W) while ZooKeeper
+costs a fixed n_vms * day_rate.  The matrices print the ratio
+ZooKeeper/FaaSKeeper — values > 1 mean FaaSKeeper is cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .params import AWS_COST_PARAMS, CostParams
+
+__all__ = ["BreakevenModel", "FIGURE14_REQUESTS", "FIGURE14_DEPLOYMENTS"]
+
+#: Daily request counts on Figure 14's x-axis.
+FIGURE14_REQUESTS = (100_000, 500_000, 1_000_000, 2_000_000, 5_000_000)
+
+#: (n_servers, vm_type) rows of Figure 14's y-axis.
+FIGURE14_DEPLOYMENTS = (
+    (3, "t3.small"), (3, "t3.medium"), (3, "t3.large"),
+    (9, "t3.small"), (9, "t3.medium"), (9, "t3.large"),
+)
+
+
+@dataclass
+class BreakevenModel:
+    params: CostParams = AWS_COST_PARAMS
+    write_kb: float = 1.0
+
+    def faaskeeper_daily(self, requests: int, read_fraction: float,
+                         hybrid: bool) -> float:
+        reads = requests * read_fraction
+        writes = requests * (1.0 - read_fraction)
+        return (reads * self.params.read_cost(self.write_kb, hybrid)
+                + writes * self.params.write_cost(self.write_kb, hybrid))
+
+    def ratio(self, requests: int, read_fraction: float, hybrid: bool,
+              n_servers: int, vm_type: str) -> float:
+        zk = self.params.zookeeper_daily(n_servers, vm_type)
+        fk = self.faaskeeper_daily(requests, read_fraction, hybrid)
+        return zk / fk
+
+    def matrix(self, read_fraction: float, hybrid: bool,
+               requests: Sequence[int] = FIGURE14_REQUESTS,
+               deployments: Sequence[Tuple[int, str]] = FIGURE14_DEPLOYMENTS,
+               ) -> List[List[float]]:
+        """Rows = deployments, columns = request counts (Figure 14 layout)."""
+        return [
+            [self.ratio(r, read_fraction, hybrid, n, vm) for r in requests]
+            for (n, vm) in deployments
+        ]
+
+    def breakeven_requests(self, read_fraction: float, hybrid: bool,
+                           n_servers: int = 3, vm_type: str = "t3.small",
+                           ) -> float:
+        """Daily requests at which FaaSKeeper's cost equals ZooKeeper's."""
+        zk = self.params.zookeeper_daily(n_servers, vm_type)
+        per_request = self.faaskeeper_daily(1, read_fraction, hybrid)
+        return zk / per_request

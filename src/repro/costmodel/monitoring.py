@@ -1,0 +1,38 @@
+"""Service-monitoring cost model (Section 5.3.3, Figure 13).
+
+The heartbeat function runs once a minute (the highest cron frequency on
+AWS); its daily cost is 1440 invocations of (GB-seconds + request fee +
+session-table scan).  The paper's headline: total daily allocation time is
+<0.2 % of the day — "status monitoring for a fraction of VM price".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cloud.pricing import AWS_PRICES, VM_DAY_RATE, PriceSheet
+from .params import r_dd
+
+__all__ = ["MonitoringCostModel"]
+
+INVOCATIONS_PER_DAY = 24 * 60  # one per minute
+
+
+@dataclass
+class MonitoringCostModel:
+    prices: PriceSheet = AWS_PRICES
+
+    def daily_cost(self, memory_mb: int, exec_time_ms: float,
+                   n_clients: int, session_item_kb: float = 0.5) -> float:
+        fn = self.prices.fn_cost(memory_mb, exec_time_ms) * INVOCATIONS_PER_DAY
+        scan = r_dd(max(1.0, n_clients * session_item_kb)) * INVOCATIONS_PER_DAY
+        return fn + scan
+
+    def daily_allocation_fraction(self, exec_time_ms: float) -> float:
+        """Fraction of the day the function is allocated."""
+        return (exec_time_ms * INVOCATIONS_PER_DAY) / (24 * 3600 * 1000.0)
+
+    def vm_price_fraction(self, memory_mb: int, exec_time_ms: float,
+                          n_clients: int, vm_type: str = "t3.small") -> float:
+        return (self.daily_cost(memory_mb, exec_time_ms, n_clients)
+                / VM_DAY_RATE[vm_type])

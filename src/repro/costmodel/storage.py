@@ -1,0 +1,69 @@
+"""Storage cost curves (Figure 4a) and retention comparisons (Section 5.3.4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from .params import AWS_COST_PARAMS, CostParams, r_dd, r_s3, w_dd, w_s3
+
+__all__ = ["StorageCostModel"]
+
+
+@dataclass
+class StorageCostModel:
+    params: CostParams = AWS_COST_PARAMS
+
+    # ------------------------------------------------------ Figure 4a left
+    def monthly_cost(self, service: str, op: str, stored_gb: float,
+                     ops: int = 1_000_000, op_kb: float = 1.0) -> float:
+        """Operations plus retention for one month."""
+        per_op = {
+            ("s3", "read"): r_s3, ("s3", "write"): w_s3,
+            ("dynamodb", "read"): r_dd, ("dynamodb", "write"): w_dd,
+        }[(service, op)](op_kb)
+        retention = (self.params.s3_storage_month(stored_gb) if service == "s3"
+                     else self.params.dynamodb_storage_month(stored_gb))
+        return ops * per_op + retention
+
+    def size_sweep(self, sizes_gb: Sequence[float], ops: int = 1_000_000,
+                   op_kb: float = 1.0) -> Dict[str, List[float]]:
+        out: Dict[str, List[float]] = {}
+        for service in ("s3", "dynamodb"):
+            for op in ("read", "write"):
+                out[f"{service}_{op}"] = [
+                    self.monthly_cost(service, op, gb, ops, op_kb)
+                    for gb in sizes_gb
+                ]
+        return out
+
+    # ------------------------------------------------------ Figure 4a right
+    def ops_sweep(self, ops_counts: Sequence[int], stored_gb: float = 1.0,
+                  op_kb: float = 1.0) -> Dict[str, List[float]]:
+        out: Dict[str, List[float]] = {}
+        for service in ("s3", "dynamodb"):
+            for op in ("read", "write"):
+                out[f"{service}_{op}"] = [
+                    self.monthly_cost(service, op, stored_gb, n, op_kb)
+                    for n in ops_counts
+                ]
+        return out
+
+    # ------------------------------------------------------ headline ratios
+    def s3_write_read_ratio(self) -> float:
+        """"Object storage: writes 12.5x more expensive than reads"."""
+        return w_s3(1.0) / r_s3(1.0)
+
+    def kv_vs_s3_large_data(self, size_kb: float = 128.0) -> float:
+        """"Reading 128 kB from DynamoDB is 20x more expensive than S3"."""
+        return r_dd(size_kb) / r_s3(size_kb)
+
+    def s3_vs_ebs_retention(self) -> float:
+        """"Storing user data in S3 is 3.47x cheaper than gp3"."""
+        return (self.params.ebs_storage_month(1.0)
+                / self.params.s3_storage_month(1.0))
+
+    def dynamodb_vs_ebs_retention(self) -> float:
+        """"Retaining data in DynamoDB is 3.125x more expensive than gp3"."""
+        return (self.params.dynamodb_storage_month(1.0)
+                / self.params.ebs_storage_month(1.0))

@@ -1,0 +1,56 @@
+"""FaaSKeeper: the paper's serverless coordination service.
+
+Public entry points::
+
+    from repro.cloud import Cloud
+    from repro.faaskeeper import FaaSKeeperService, FaaSKeeperConfig
+
+    cloud = Cloud.aws(seed=0)
+    fk = FaaSKeeperService.deploy(cloud, FaaSKeeperConfig(user_store="hybrid"))
+    with fk.connect() as client:
+        client.create("/app", b"hello")
+        data, stat = client.get_data("/app")
+"""
+
+from .client import FaaSKeeperClient, FKFuture, WriteResult
+from .config import FaaSKeeperConfig, UserStoreKind
+from .exceptions import (
+    AccessDeniedError,
+    BadArgumentsError,
+    BadVersionError,
+    FaaSKeeperError,
+    NoChildrenForEphemeralsError,
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+    RequestFailedError,
+    SessionClosedError,
+)
+from .model import ACL_PERMS, OPEN_ACL, EventType, NodeStat, WatchedEvent, WatchType, acl_allows
+from .service import FaaSKeeperService
+
+__all__ = [
+    "FaaSKeeperService",
+    "FaaSKeeperConfig",
+    "UserStoreKind",
+    "FaaSKeeperClient",
+    "FKFuture",
+    "WriteResult",
+    "NodeStat",
+    "ACL_PERMS",
+    "OPEN_ACL",
+    "acl_allows",
+    "WatchedEvent",
+    "WatchType",
+    "EventType",
+    "FaaSKeeperError",
+    "NoNodeError",
+    "NodeExistsError",
+    "BadVersionError",
+    "NotEmptyError",
+    "NoChildrenForEphemeralsError",
+    "SessionClosedError",
+    "RequestFailedError",
+    "AccessDeniedError",
+    "BadArgumentsError",
+]

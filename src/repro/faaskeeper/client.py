@@ -1,0 +1,430 @@
+"""FaaSKeeper client library (Section 3.5), modeled after kazoo's API.
+
+Reads go straight to the region-local user store; writes travel through the
+session's FIFO queue to the follower function.  The library recreates the
+ordering work a ZooKeeper server would do for the client:
+
+* **FIFO completion** — results are released in request order: a read
+  issued after a write never completes before it (the "lightweight queue on
+  the client");
+* **watch/data ordering (Z4)** — a read that returns a node whose epoch
+  set contains one of *this session's* undelivered watch notifications is
+  stalled until that notification arrives;
+* **MRD tracking** — the most-recently-delivered txid gives the fast path:
+  nodes older than everything we have seen need no stall.
+
+The real client runs three background threads (send / receive / order); in
+the simulation those are the send process, the delivery callbacks, and the
+completion chain respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from ..cloud.context import OpContext
+from .exceptions import (
+    AccessDeniedError,
+    BadVersionError,
+    FaaSKeeperError,
+    NoChildrenForEphemeralsError,
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+    RequestFailedError,
+    SessionClosedError,
+)
+from .model import (
+    NodeStat,
+    acl_allows,
+    Request,
+    Response,
+    WatchedEvent,
+    WatchType,
+    validate_path,
+)
+
+__all__ = ["FaaSKeeperClient", "FKFuture", "WriteResult"]
+
+_ERROR_MAP = {
+    "no_node": NoNodeError,
+    "node_exists": NodeExistsError,
+    "bad_version": BadVersionError,
+    "not_empty": NotEmptyError,
+    "no_children_for_ephemerals": NoChildrenForEphemeralsError,
+    "session_closed": SessionClosedError,
+    "system_failure": RequestFailedError,
+    "system_busy": RequestFailedError,
+    "bad_arguments": RequestFailedError,
+    "access_denied": AccessDeniedError,
+}
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of a committed write."""
+
+    path: str
+    txid: int
+    version: int
+
+
+class FKFuture:
+    """Handle for an in-flight operation (async API)."""
+
+    def __init__(self, client: "FaaSKeeperClient") -> None:
+        self._client = client
+        self.event = client.env.event()
+        self.event.defused()
+
+    @property
+    def done(self) -> bool:
+        return self.event.triggered
+
+    def wait(self) -> Any:
+        """Drive the simulation until the result is available; returns it
+        (or raises the operation's error)."""
+        return self._client.cloud.env.run(until=self.event)
+
+
+class FaaSKeeperClient:
+    """One session's client handle.  Obtain via ``service.connect()``."""
+
+    def __init__(self, service, session_id: str, region: str, queue) -> None:
+        self.service = service
+        self.cloud = service.cloud
+        self.env = service.cloud.env
+        self.session_id = session_id
+        self.region = region
+        self.queue = queue
+        self.ctx = OpContext(region=region)
+        self.alive = True          # heartbeat answers (tests flip this)
+        self.closed = False
+        self.mrd = 0               # most-recently-delivered txid
+
+        self._rid = 0
+        self._pending: Dict[int, Any] = {}          # rid -> internal Event
+        self._chain = None                          # completion-order tail
+        self._send_tail = None                      # submission-order tail
+        self._write_tail = None                     # last write's response
+        self._registered: Dict[str, List[Callable]] = {}  # watch id -> callbacks
+        self._delivered: Set[str] = set()
+        self._wait_events: Dict[str, Any] = {}      # watch id -> stall Event
+        self.watch_events: List[WatchedEvent] = []  # delivery log (tests)
+        queue.on_drop = self._on_drop
+
+    # ------------------------------------------------------------ plumbing
+    def _next_rid(self) -> int:
+        self._rid += 1
+        return self._rid
+
+    def _mark_closed(self) -> None:
+        self.closed = True
+
+    def _on_drop(self, message) -> None:
+        """Poison request dropped by the queue: fail its future."""
+        body = message.body
+        if isinstance(body, dict) and body.get("rid", -1) >= 0:
+            self._deliver_response(Response(
+                session=self.session_id, rid=body["rid"], ok=False,
+                error="system_failure"))
+
+    def _deliver_response(self, response: Response) -> None:
+        event = self._pending.pop(response.rid, None)
+        if event is None or event.triggered:
+            return  # duplicate delivery (redelivered batch): first wins
+        if response.txid:
+            self.mrd = max(self.mrd, response.txid)
+        event.succeed(response)
+
+    def _deliver_watch(self, watch_id: str, event: WatchedEvent) -> None:
+        self._delivered.add(watch_id)
+        self.mrd = max(self.mrd, event.txid)
+        self.watch_events.append(event)
+        waiter = self._wait_events.pop(watch_id, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(None)
+        for callback in self._registered.pop(watch_id, []):
+            if callback is not None:
+                callback(event)
+
+    def _chained(self, generator) -> FKFuture:
+        """Run ``generator``; release its result after all earlier results
+        (the client-side FIFO completion queue)."""
+        future = FKFuture(self)
+        prev = self._chain
+        self._chain = future.event
+
+        def runner():
+            error: Optional[BaseException] = None
+            value: Any = None
+            try:
+                value = yield from generator
+            except BaseException as exc:
+                error = exc
+            if prev is not None and not prev.processed:
+                try:
+                    yield prev
+                except BaseException:
+                    pass  # predecessor's failure belongs to its caller
+            if error is not None:
+                future.event.fail(error)
+            else:
+                future.event.succeed(value)
+
+        self.env.process(runner(), name=f"client:{self.session_id}")
+        return future
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SessionClosedError(self.session_id)
+
+    # ------------------------------------------------------------ write ops
+    def _prepare_write(self, request: Request):
+        """Register the response event eagerly, so a read issued right after
+        this write can wait for it (session read-your-writes)."""
+        internal = self.env.event()
+        internal.defused()
+        self._pending[request.rid] = internal
+        self._write_tail = internal
+        return internal
+
+    def _write_flow(self, request: Request, internal=None) -> Generator:
+        if internal is None:
+            internal = self._prepare_write(request)
+        body = {
+            "session": request.session, "rid": request.rid, "op": request.op,
+            "path": request.path, "data": request.data,
+            "version": request.version, "ephemeral": request.ephemeral,
+            "sequence": request.sequence, "acl": request.acl,
+        }
+        # The client's single send thread (Section 3.5): submissions of one
+        # session enter the queue strictly in request order (Z2), while later
+        # pipeline stages still overlap.
+        prev_send = self._send_tail
+        sent = self.env.event()
+        sent.defused()
+        self._send_tail = sent
+        if prev_send is not None and not prev_send.processed:
+            yield prev_send
+        try:
+            yield from self.queue.send(self.ctx, body, group=self.session_id,
+                                       size_kb=request.size_kb)
+        finally:
+            if not sent.triggered:
+                sent.succeed(None)
+        response: Response = yield internal
+        if not response.ok:
+            raise _ERROR_MAP.get(response.error, RequestFailedError)(
+                f"{request.op} {request.path}: {response.error}")
+        return response
+
+    def create_async(self, path: str, data: bytes = b"",
+                     ephemeral: bool = False, sequence: bool = False,
+                     acl: Optional[dict] = None) -> FKFuture:
+        self._check_open()
+        validate_path(path, allow_root=False)
+        req = Request(session=self.session_id, rid=self._next_rid(),
+                      op="create", path=path, data=bytes(data),
+                      ephemeral=ephemeral, sequence=sequence, acl=acl)
+        internal = self._prepare_write(req)
+
+        def flow():
+            response = yield from self._write_flow(req, internal)
+            return response.path
+
+        return self._chained(flow())
+
+    def set_data_async(self, path: str, data: bytes,
+                       version: int = -1) -> FKFuture:
+        self._check_open()
+        validate_path(path)
+        req = Request(session=self.session_id, rid=self._next_rid(),
+                      op="set_data", path=path, data=bytes(data),
+                      version=version)
+        internal = self._prepare_write(req)
+
+        def flow():
+            response = yield from self._write_flow(req, internal)
+            return WriteResult(path=response.path or path, txid=response.txid,
+                               version=response.version)
+
+        return self._chained(flow())
+
+    def delete_async(self, path: str, version: int = -1) -> FKFuture:
+        self._check_open()
+        validate_path(path, allow_root=False)
+        req = Request(session=self.session_id, rid=self._next_rid(),
+                      op="delete", path=path, version=version)
+        internal = self._prepare_write(req)
+
+        def flow():
+            yield from self._write_flow(req, internal)
+            return None
+
+        return self._chained(flow())
+
+    # ------------------------------------------------------------ read ops
+    def _register_watch(self, path: str, wtype: WatchType,
+                        callback: Optional[Callable]) -> Generator:
+        wid = yield from self.service.watch_registry.register(
+            self.ctx, path, wtype, self.session_id)
+        self._registered.setdefault(wid, []).append(callback)
+        return wid
+
+    def _stall_for_epoch(self, image: Dict[str, Any]) -> Generator:
+        """Z4: hold the read until this session's pending notifications for
+        the node's epoch have been delivered."""
+        if image.get("modified_tx", 0) < self.mrd:
+            # MRD fast path: strictly older than everything delivered.
+            return None
+        for wid in image.get("epoch", []):
+            if wid in self._registered and wid not in self._delivered:
+                waiter = self._wait_events.get(wid)
+                if waiter is None:
+                    waiter = self.env.event()
+                    waiter.defused()
+                    self._wait_events[wid] = waiter
+                if not waiter.processed:
+                    yield waiter
+        return None
+
+    def _read_image(self, path: str) -> Generator:
+        # Session FIFO processing (ZooKeeper read-your-writes): the fetch
+        # starts only after the responses of all earlier writes arrived, so
+        # a read following a write observes it.  Writes themselves pipeline.
+        pending_write = self._write_tail
+        if pending_write is not None and not pending_write.processed:
+            try:
+                yield pending_write
+            except Exception:
+                pass  # a failed write belongs to its own caller
+        image = yield from self.service.user_store.read_node(
+            self.ctx, self.region, path)
+        if image is None or image.get("deleted"):
+            return None
+        # Read permissions are enforced at the storage boundary (the paper:
+        # "read permissions can be enforced with cloud storage ACLs").
+        if not acl_allows(image.get("acl"), "read", self.session_id):
+            raise AccessDeniedError(path)
+        yield from self._stall_for_epoch(image)
+        # Client-library overhead: result sorting, watch bookkeeping and
+        # deserialization add ~2% (Section 5.3.1).
+        data_kb = len(image.get("data", b"") or b"") / 1024.0
+        yield self.env.timeout(0.05 + 0.002 * data_kb)
+        return image
+
+    def get_data_async(self, path: str,
+                       watch: Optional[Callable] = None) -> FKFuture:
+        self._check_open()
+        validate_path(path)
+
+        def flow():
+            if watch is not None:
+                yield from self._register_watch(path, WatchType.DATA, watch)
+            image = yield from self._read_image(path)
+            if image is None:
+                raise NoNodeError(path)
+            return image.get("data", b""), NodeStat.from_image(image)
+
+        return self._chained(flow())
+
+    def exists_async(self, path: str,
+                     watch: Optional[Callable] = None) -> FKFuture:
+        self._check_open()
+        validate_path(path)
+
+        def flow():
+            if watch is not None:
+                yield from self._register_watch(path, WatchType.EXISTS, watch)
+            image = yield from self._read_image(path)
+            if image is None:
+                return None
+            return NodeStat.from_image(image)
+
+        return self._chained(flow())
+
+    def get_children_async(self, path: str,
+                           watch: Optional[Callable] = None) -> FKFuture:
+        self._check_open()
+        validate_path(path)
+
+        def flow():
+            if watch is not None:
+                yield from self._register_watch(path, WatchType.CHILDREN, watch)
+            image = yield from self._read_image(path)
+            if image is None:
+                raise NoNodeError(path)
+            return sorted(image.get("children", []))
+
+        return self._chained(flow())
+
+    # ------------------------------------------------------------ lifecycle
+    def close_async(self) -> FKFuture:
+        self._check_open()
+        req = Request(session=self.session_id, rid=self._next_rid(),
+                      op="close_session")
+
+        def flow():
+            yield from self._write_flow(req)
+            self.closed = True
+            return None
+
+        return self._chained(flow())
+
+    # ------------------------------------------------------------ sync API
+    def create(self, path: str, data: bytes = b"", ephemeral: bool = False,
+               sequence: bool = False, acl: Optional[dict] = None) -> str:
+        """Create a node; returns the (possibly sequence-suffixed) path.
+
+        ``acl`` maps permissions (read/write/create/delete) to lists of
+        session ids, with ``"world"`` as the wildcard; None = open access.
+        """
+        return self.create_async(path, data, ephemeral, sequence, acl).wait()
+
+    def get_acl(self, path: str) -> Optional[dict]:
+        """Read a node's ACL (None = open access)."""
+
+        def flow():
+            image = yield from self._read_image(path)
+            if image is None:
+                raise NoNodeError(path)
+            return image.get("acl")
+
+        return self._chained(flow()).wait()
+
+    def set_data(self, path: str, data: bytes, version: int = -1) -> WriteResult:
+        """Replace node data, optionally conditional on ``version``."""
+        return self.set_data_async(path, data, version).wait()
+
+    def delete(self, path: str, version: int = -1) -> None:
+        """Delete a (childless) node."""
+        return self.delete_async(path, version).wait()
+
+    def get_data(self, path: str,
+                 watch: Optional[Callable] = None) -> Tuple[bytes, NodeStat]:
+        """Read node data + stat; optionally register a data watch."""
+        return self.get_data_async(path, watch).wait()
+
+    def exists(self, path: str,
+               watch: Optional[Callable] = None) -> Optional[NodeStat]:
+        """Stat a node (None when absent); optionally register an exists watch."""
+        return self.exists_async(path, watch).wait()
+
+    def get_children(self, path: str,
+                     watch: Optional[Callable] = None) -> List[str]:
+        """List child names; optionally register a children watch."""
+        return self.get_children_async(path, watch).wait()
+
+    def close(self) -> None:
+        """Close the session; ephemeral nodes are deleted by the system."""
+        return self.close_async().wait()
+
+    # Context-manager convenience.
+    def __enter__(self) -> "FaaSKeeperClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self.closed:
+            self.close()

@@ -1,0 +1,53 @@
+"""Deployment configuration for a FaaSKeeper instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["FaaSKeeperConfig", "UserStoreKind"]
+
+
+class UserStoreKind:
+    """User-data storage backends evaluated in the paper (Figures 8/9/11)."""
+
+    S3 = "s3"              # object store only (standard configuration)
+    DYNAMODB = "dynamodb"  # key-value only
+    HYBRID = "hybrid"      # <=threshold in key-value, larger data in object
+    REDIS = "redis"        # user-managed in-memory cache
+
+    ALL = (S3, DYNAMODB, HYBRID, REDIS)
+
+
+@dataclass
+class FaaSKeeperConfig:
+    """Knobs of one deployment, defaulting to the paper's evaluation setup:
+    us-east-1, 2048 MB functions, S3 user store."""
+
+    user_store: str = UserStoreKind.S3
+    hybrid_threshold_kb: float = 4.0      # Section 4.2: nodes <=4 kB go to KV
+    function_memory_mb: int = 2048
+    arch: str = "x86"                     # "x86" | "arm"
+    cpu_alloc: float = 1.0                # GCP: vCPU fraction
+    regions: List[str] = field(default_factory=lambda: ["us-east-1"])
+    heartbeat_period_ms: float = 60_000.0  # highest AWS cron frequency (5.3.3)
+    gc_period_ms: float = 300_000.0        # garbage-collection sweep (extension)
+    session_timeout_ms: float = 10_000.0
+    lock_max_hold_ms: float = 2_000.0
+    max_node_size_kb: float = 250.0       # queue payload bound (Section 4.4)
+    leader_max_receive: Optional[int] = None   # retry leader batches forever
+    follower_max_receive: Optional[int] = 5
+    follower_batch: int = 10
+    leader_batch: int = 10
+
+    def __post_init__(self) -> None:
+        if self.user_store not in UserStoreKind.ALL:
+            raise ValueError(f"unknown user store {self.user_store!r}")
+        if not self.regions:
+            raise ValueError("need at least one region")
+        if self.arch not in ("x86", "arm"):
+            raise ValueError(f"unknown arch {self.arch!r}")
+
+    @property
+    def primary_region(self) -> str:
+        return self.regions[0]

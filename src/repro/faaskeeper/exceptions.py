@@ -1,0 +1,56 @@
+"""FaaSKeeper client-facing exceptions (mirroring kazoo/ZooKeeper errors)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaaSKeeperError",
+    "NoNodeError",
+    "NodeExistsError",
+    "BadVersionError",
+    "NotEmptyError",
+    "NoChildrenForEphemeralsError",
+    "SessionClosedError",
+    "RequestFailedError",
+    "AccessDeniedError",
+    "BadArgumentsError",
+]
+
+
+class FaaSKeeperError(Exception):
+    """Base class for FaaSKeeper errors."""
+
+
+class NoNodeError(FaaSKeeperError):
+    """The target node does not exist."""
+
+
+class NodeExistsError(FaaSKeeperError):
+    """create() on an existing path."""
+
+
+class BadVersionError(FaaSKeeperError):
+    """Conditional update with a stale version number."""
+
+
+class NotEmptyError(FaaSKeeperError):
+    """delete() on a node that still has children."""
+
+
+class NoChildrenForEphemeralsError(FaaSKeeperError):
+    """create() under an ephemeral parent (ZooKeeper forbids this)."""
+
+
+class SessionClosedError(FaaSKeeperError):
+    """Operation on a closed or expired session."""
+
+
+class RequestFailedError(FaaSKeeperError):
+    """The system rejected the request (follower/leader failure path)."""
+
+
+class AccessDeniedError(FaaSKeeperError):
+    """ACL check failed."""
+
+
+class BadArgumentsError(FaaSKeeperError):
+    """Malformed path or arguments."""

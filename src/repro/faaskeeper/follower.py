@@ -1,0 +1,374 @@
+"""The follower function (Algorithm 1).
+
+A FIFO queue per client session invokes the follower with a batch of
+requests.  For each request the follower
+
+➀ acquires timed locks on the affected nodes (the parent too for
+  create/delete — those operations touch the parent's child list),
+➁ validates the operation against the locked system-node images,
+➂ pushes the staged change to the leader's FIFO queue, obtaining the
+  transaction id (the queue's monotone sequence number), and
+➃ commits the staged change to system storage fused with the lock release,
+  conditional on the lease still being valid; multi-node operations commit
+  as a single storage transaction that succeeds or fails atomically (Z1).
+
+Steps ➀/➁ of a request may overlap with steps ➂/➃ of its predecessor in a
+real deployment; requests of one session are never reordered (Z2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..cloud.expressions import (
+    Attr,
+    ListAppend,
+    ListRemove,
+    Remove,
+    Set,
+)
+from ..cloud.errors import ConditionFailed
+from ..primitives.locks import LockHandle
+from .layout import SYSTEM_NODES, SYSTEM_SESSIONS, new_system_node
+from .model import Request, Response, acl_allows, parent_path, node_name
+
+__all__ = ["FollowerLogic"]
+
+#: Lock-acquisition retry policy for contended nodes.
+LOCK_RETRIES = 60
+LOCK_BACKOFF_MS = 30.0
+
+
+class FollowerLogic:
+    """Behaviour of the follower function, bound to one deployment."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    # ------------------------------------------------------------ handler
+    def handler(self, fctx, batch: List[Dict[str, Any]]) -> Generator:
+        """Entry point for the queue trigger: a batch of request dicts."""
+        for raw in batch:
+            req = Request(**{k: v for k, v in raw.items() if not k.startswith("_")})
+            yield from self.process(fctx, req, redelivered=raw.get("_redelivered", False))
+        return None
+
+    def process(self, fctx, req: Request, redelivered: bool = False) -> Generator:
+        if req.op == "close_session":
+            yield from self._close_session(fctx, req)
+        elif req.op in ("create", "set_data", "delete"):
+            if redelivered and req.rid >= 0:
+                # A redelivered request may already be committed (the crash
+                # happened after step ➃): the per-session watermark decides.
+                sess = yield from self.service.system_store.get_item(
+                    fctx.ctx, SYSTEM_SESSIONS, req.session)
+                if sess is not None and sess.get("last_rid", 0) >= req.rid:
+                    return None  # committed; the leader will notify
+            yield from self._write_op(fctx, req)
+        else:  # pragma: no cover - defensive
+            yield from self.service.notify_response(
+                Response(session=req.session, rid=req.rid, ok=False,
+                         error="bad_arguments"))
+        return None
+
+    # ------------------------------------------------------------ locking
+    def _acquire(self, fctx, paths: List[str]
+                 ) -> Generator[Any, Any, Optional[Dict[str, LockHandle]]]:
+        """Lock all paths (shallowest first); None when contention persists."""
+        lock = self.service.node_lock
+        ordered = sorted(set(paths), key=lambda p: (p.count("/"), p))
+        for _attempt in range(LOCK_RETRIES):
+            handles: Dict[str, LockHandle] = {}
+            ok = True
+            for path in ordered:
+                handle = yield from lock.acquire(fctx.ctx, path)
+                if handle is None:
+                    ok = False
+                    break
+                handles[path] = handle
+            if ok:
+                return handles
+            for handle in handles.values():
+                yield from lock.release(fctx.ctx, handle)
+            yield fctx.env.timeout(
+                LOCK_BACKOFF_MS * (0.5 + self.service.rng.random()))
+        return None
+
+    def _release_all(self, fctx, handles: Dict[str, LockHandle]) -> Generator:
+        for handle in handles.values():
+            yield from self.service.node_lock.release(fctx.ctx, handle)
+        return None
+
+    # ------------------------------------------------------------ helpers
+    @staticmethod
+    def _node_exists(image: Optional[Dict[str, Any]]) -> bool:
+        return bool(image) and image.get("exists") is True
+
+    def _fail(self, req: Request, error: str) -> Generator:
+        yield from self.service.notify_response(
+            Response(session=req.session, rid=req.rid, ok=False, error=error))
+        return None
+
+    # ------------------------------------------------------------ write ops
+    def _write_op(self, fctx, req: Request) -> Generator:
+        env = fctx.env
+        needs_parent = req.op in ("create", "delete")
+        parent = parent_path(req.path) if req.path != "/" else None
+        if needs_parent and parent is None:
+            yield from self._fail(req, "bad_arguments")
+            return None
+
+        # ➀ lock
+        t0 = env.now
+        lock_paths = [req.path] + ([parent] if needs_parent else [])
+        handles = yield from self._acquire(fctx, lock_paths)
+        fctx.record("lock", env.now - t0)
+        if handles is None:
+            yield from self._fail(req, "system_busy")
+            return None
+
+        node_img = handles[req.path].item or {}
+        parent_img = handles[parent].item if needs_parent else None
+
+        # ➁ validate + stage
+        plan = self._validate_and_stage(req, node_img, parent_img)
+        if isinstance(plan, str):  # error code
+            yield from self._release_all(fctx, handles)
+            yield from self._fail(req, plan)
+            return None
+        final_path, msg, commit_sets, parent_sets, session_ops = plan
+        fctx.crash_point("after_validate")
+
+        # For sequential creates the node lock was taken on the prefix path;
+        # the final path needs its own lock before commit.
+        if final_path != req.path:
+            handle = yield from self.service.node_lock.acquire(fctx.ctx, final_path)
+            if handle is None:  # pragma: no cover - fresh path, cannot be held
+                yield from self._release_all(fctx, handles)
+                yield from self._fail(req, "system_busy")
+                return None
+            # Release the prefix lock; the real node is the final path.
+            yield from self.service.node_lock.release(fctx.ctx, handles.pop(req.path))
+            handles[final_path] = handle
+
+        # ➂ push to leader (txid = queue sequence number)
+        t0 = env.now
+        # CPU cost of encoding the payload (base64 in the real system);
+        # this is where ARM's data-processing penalty shows up.
+        yield fctx.compute(base_ms=0.2, payload_kb=req.size_kb, per_kb_ms=0.05)
+        txid = yield from self.service.leader_queue.send(
+            fctx.ctx, msg, group="updates", size_kb=req.size_kb)
+        fctx.record("push", env.now - t0)
+        fctx.crash_point("after_push")
+
+        # ➃ commit + unlock, conditional on all leases (single transaction)
+        t0 = env.now
+        ops = []
+        node_handle = handles[final_path]
+        node_updates = [Set(k, v) for k, v in commit_sets.items()]
+        node_updates += [
+            Set("modified_tx", txid) if req.op != "create" else Set("created_tx", txid),
+            ListAppend("transactions", [txid]),
+            Remove("lock"),
+        ]
+        if req.op == "create":
+            node_updates.append(Set("modified_tx", txid))
+        ops.append((SYSTEM_NODES, final_path, node_updates,
+                    Attr("lock.ts") == node_handle.timestamp))
+        if needs_parent:
+            parent_handle = handles[parent]
+            parent_updates = [Set(k, v) for k, v in parent_sets.items()]
+            parent_updates += [ListAppend("transactions", [txid]), Remove("lock")]
+            ops.append((SYSTEM_NODES, parent, parent_updates,
+                        Attr("lock.ts") == parent_handle.timestamp))
+        # Per-session dedup watermark (one transaction may touch an item only
+        # once, so merge with any ephemeral-tracking update).
+        session_updates: List = []
+        for _table, key, updates in session_ops:
+            assert key == req.session
+            session_updates.extend(updates)
+        if req.rid >= 0:
+            session_updates.append(Set("last_rid", req.rid))
+        if session_updates:
+            ops.append((SYSTEM_SESSIONS, req.session, session_updates, None))
+        try:
+            yield from self.service.system_store.transact_update(fctx.ctx, ops)
+        except ConditionFailed:
+            # A lease expired mid-request: the leader will decide the outcome
+            # (TryCommit or reject) — the follower must not touch the node.
+            fctx.record("commit", env.now - t0)
+            return None
+        fctx.record("commit", env.now - t0)
+        fctx.crash_point("after_commit")
+        # The request is now committed (Z1); the leader replicates it to the
+        # user-visible store and notifies the client.
+        return None
+
+    # ------------------------------------------------------------ staging
+    def _validate_and_stage(
+        self, req: Request,
+        node: Dict[str, Any],
+        parent: Optional[Dict[str, Any]],
+    ):
+        """Returns an error code or (final_path, leader_msg, node_sets,
+        parent_sets, session_ops)."""
+        if req.op == "set_data":
+            if not self._node_exists(node):
+                return "no_node"
+            if not acl_allows(node.get("acl"), "write", req.session):
+                return "access_denied"
+            if req.version >= 0 and node.get("version", 0) != req.version:
+                return "bad_version"
+            if len(req.data) / 1024.0 > self.service.config.max_node_size_kb:
+                return "bad_arguments"
+            new_version = node.get("version", 0) + 1
+            commit_sets = {"data_len": len(req.data), "version": new_version}
+            image = {
+                "path": req.path,
+                "data": req.data,
+                "version": new_version,
+                "cversion": node.get("cversion", 0),
+                "created_tx": node.get("created_tx", 0),
+                "children": list(node.get("children", [])),
+                "ephemeral_owner": node.get("ephemeral_owner"),
+            }
+            if node.get("acl"):
+                image["acl"] = dict(node["acl"])
+            msg = {
+                "session": req.session, "rid": req.rid, "op": "set_data",
+                "path": req.path, "parent": None,
+                "node_image": image, "parent_image": None,
+                "commit_sets": commit_sets, "parent_sets": {},
+                "prev_version": node.get("version", 0),
+                "parent_prev_cversion": None,
+            }
+            return req.path, msg, commit_sets, {}, []
+
+        if req.op == "create":
+            assert parent is not None
+            if not self._node_exists(parent):
+                return "no_node"
+            if parent.get("ephemeral_owner"):
+                return "no_children_for_ephemerals"
+            if not acl_allows(parent.get("acl"), "create", req.session):
+                return "access_denied"
+            final_path = req.path
+            parent_sets: Dict[str, Any] = {
+                "cversion": parent.get("cversion", 0) + 1,
+            }
+            if req.sequence:
+                seq = parent.get("cseq", 0)
+                final_path = f"{req.path}{seq:010d}"
+                parent_sets["cseq"] = seq + 1
+            if self._node_exists(node) and final_path == req.path:
+                return "node_exists"
+            name = node_name(final_path)
+            children = list(parent.get("children", []))
+            if name in children:  # pragma: no cover - defensive
+                return "node_exists"
+            children.append(name)
+            parent_sets["children"] = children
+            fresh = new_system_node(len(req.data), created_tx=0,
+                                    ephemeral_owner=req.session if req.ephemeral else None)
+            fresh.pop("transactions")  # managed by the commit itself
+            fresh.pop("applied_tx")    # the leader's watermark must survive
+            if req.acl:
+                fresh["acl"] = dict(req.acl)
+            commit_sets = dict(fresh)
+            image = {
+                "path": final_path, "data": req.data, "version": 0,
+                "cversion": 0, "created_tx": 0, "children": [],
+                "ephemeral_owner": req.session if req.ephemeral else None,
+            }
+            if req.acl:
+                image["acl"] = dict(req.acl)
+            parent_image = {
+                "path": parent_path(final_path),
+                "meta_only": True,
+                "version": parent.get("version", 0),
+                "cversion": parent_sets["cversion"],
+                "created_tx": parent.get("created_tx", 0),
+                "modified_tx": parent.get("modified_tx", 0),
+                "children": children,
+                "ephemeral_owner": parent.get("ephemeral_owner"),
+            }
+            session_ops = []
+            if req.ephemeral:
+                session_ops.append((
+                    SYSTEM_SESSIONS, req.session,
+                    [ListAppend("ephemeral", [final_path])],
+                ))
+            msg = {
+                "session": req.session, "rid": req.rid, "op": "create",
+                "path": final_path, "parent": parent_path(final_path),
+                "node_image": image, "parent_image": parent_image,
+                "commit_sets": commit_sets, "parent_sets": parent_sets,
+                "prev_version": None,
+                "parent_prev_cversion": parent.get("cversion", 0),
+            }
+            return final_path, msg, commit_sets, parent_sets, session_ops
+
+        if req.op == "delete":
+            assert parent is not None
+            if not self._node_exists(node):
+                return "no_node"
+            if not acl_allows(node.get("acl"), "delete", req.session):
+                return "access_denied"
+            if req.version >= 0 and node.get("version", 0) != req.version:
+                return "bad_version"
+            if node.get("children"):
+                return "not_empty"
+            name = node_name(req.path)
+            children = [c for c in parent.get("children", []) if c != name]
+            parent_sets = {
+                "children": children,
+                "cversion": parent.get("cversion", 0) + 1,
+            }
+            commit_sets = {"exists": False, "data_len": 0}
+            image = {"path": req.path, "deleted": True}
+            parent_image = {
+                "path": parent_path(req.path),
+                "meta_only": True,
+                "version": parent.get("version", 0),
+                "cversion": parent_sets["cversion"],
+                "created_tx": parent.get("created_tx", 0),
+                "modified_tx": parent.get("modified_tx", 0),
+                "children": children,
+                "ephemeral_owner": parent.get("ephemeral_owner"),
+            }
+            session_ops = []
+            owner = node.get("ephemeral_owner")
+            if owner:
+                session_ops.append((
+                    SYSTEM_SESSIONS, owner,
+                    [ListRemove("ephemeral", [req.path])],
+                ))
+            msg = {
+                "session": req.session, "rid": req.rid, "op": "delete",
+                "path": req.path, "parent": parent_path(req.path),
+                "node_image": image, "parent_image": parent_image,
+                "commit_sets": commit_sets, "parent_sets": parent_sets,
+                "prev_version": node.get("version", 0),
+                "parent_prev_cversion": parent.get("cversion", 0),
+            }
+            return req.path, msg, commit_sets, parent_sets, session_ops
+
+        return "bad_arguments"  # pragma: no cover - defensive
+
+    # ------------------------------------------------------------ sessions
+    def _close_session(self, fctx, req: Request) -> Generator:
+        """Session teardown: delete owned ephemerals, drop the session."""
+        sessions = self.service.system_store
+        item = yield from sessions.get_item(fctx.ctx, SYSTEM_SESSIONS, req.session)
+        ephemerals = list(item.get("ephemeral", [])) if item else []
+        # Deepest paths first so children go before parents.
+        for path in sorted(ephemerals, key=lambda p: -p.count("/")):
+            sub = Request(session=req.session, rid=-1, op="delete",
+                          path=path, version=-1)
+            yield from self._write_op(fctx, sub)
+        yield from sessions.delete_item(fctx.ctx, SYSTEM_SESSIONS, req.session)
+        self.service.on_session_closed(req.session)
+        if req.rid >= 0:
+            yield from self.service.notify_response(
+                Response(session=req.session, rid=req.rid, ok=True))
+        return None

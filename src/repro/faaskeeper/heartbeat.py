@@ -1,0 +1,54 @@
+"""The scheduled heartbeat function (Section 3.6, Figure 13).
+
+ZooKeeper sessions exchange keep-alives over their TCP connection; with no
+connection to keep, FaaSKeeper inverts the direction: a cron-triggered
+function scans the session table, pings every client that owns ephemeral
+nodes in parallel, and starts an eviction (a ``close_session`` request in
+the session's own FIFO queue, so it serializes after the session's earlier
+writes) for clients that miss the deadline.
+
+The function also doubles as the "system is online" signal for clients.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List
+
+from ..sim.kernel import AllOf
+from .layout import SYSTEM_SESSIONS
+
+__all__ = ["HeartbeatLogic"]
+
+
+class HeartbeatLogic:
+    """Behaviour of the heartbeat function, bound to one deployment."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self.evictions = 0
+
+    def handler(self, fctx, payload: Any) -> Generator:
+        env = fctx.env
+        t0 = env.now
+        sessions = yield from self.service.system_store.scan(
+            fctx.ctx, SYSTEM_SESSIONS)
+        fctx.record("scan", env.now - t0)
+
+        # Ping owners of ephemeral nodes in parallel.
+        t0 = env.now
+        to_check = [sid for sid, item in sessions.items() if item.get("ephemeral")]
+        pings = [
+            env.process(self.service.heartbeat_ping(sid), name=f"ping:{sid}")
+            for sid in to_check
+        ]
+        results: Dict[str, bool] = {}
+        if pings:
+            done = yield AllOf(env, pings)
+            results = dict(zip(to_check, done.values()))
+        fctx.record("ping", env.now - t0)
+
+        expired = [sid for sid in to_check if not results.get(sid, False)]
+        for sid in expired:
+            self.evictions += 1
+            yield from self.service.enqueue_eviction(fctx.ctx, sid)
+        return {"checked": len(to_check), "evicted": len(expired)}

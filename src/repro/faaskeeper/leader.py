@@ -1,0 +1,283 @@
+"""The leader function (Algorithm 2).
+
+A single FIFO queue feeds a single leader instance with committed updates in
+txid order.  For each update the leader
+
+➊ reads the system node and verifies the transaction is at the head of the
+  node's pending list,
+➋ if the follower died between push and commit, tries to commit on its
+  behalf (TryCommit) once the lock lease has expired — otherwise the update
+  is rejected and the client notified of the failure,
+➌ replicates the staged node image (and the parent's, for create/delete)
+  into the user store of every region in parallel, attaching the current
+  epoch (the watch notifications still in flight),
+➍ consumes triggered watches, adds their ids to the epoch counters and
+  invokes the watch fan-out function,
+➎ notifies the client of success and pops the transaction.
+
+Ambiguous states (lock still held by a live follower) raise, making the
+FIFO queue redeliver the batch; the ``applied_tx`` watermark makes
+redeliveries idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..cloud.errors import ConditionFailed
+from ..cloud.expressions import Attr, ListAppend, ListRemove, Set
+from ..sim.kernel import AllOf
+from .layout import SYSTEM_NODES, epoch_key
+from .model import Response
+from .watches import TriggeredWatch
+
+__all__ = ["LeaderLogic", "RetryBatch"]
+
+
+class RetryBatch(Exception):
+    """Raised to make the FIFO queue redeliver the current batch."""
+
+
+class LeaderLogic:
+    """Behaviour of the leader function, bound to one deployment."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        # The single leader instance is sticky (warm sandbox), so it may keep
+        # the epoch counters cached in memory — the `state` argument of
+        # Algorithm 2.  The authoritative copy lives in system storage; the
+        # cache is (re)hydrated lazily after cold starts.
+        self._epoch_cache: Optional[Dict[str, List[str]]] = None
+        self._pending_callbacks: List = []
+
+    # ------------------------------------------------------------ epoch
+    def _load_epoch(self, fctx) -> Generator:
+        if self._epoch_cache is None:
+            cache: Dict[str, List[str]] = {}
+            for region in self.service.config.regions:
+                lst = yield from self.service.epoch_lists[region].get(fctx.ctx)
+                cache[region] = list(lst)
+            self._epoch_cache = cache
+        return None
+
+    def epoch_snapshot(self, region: str) -> List[str]:
+        assert self._epoch_cache is not None
+        return list(self._epoch_cache[region])
+
+    def _epoch_add(self, fctx, watch_ids: List[str]) -> Generator:
+        for region in self.service.config.regions:
+            new = yield from self.service.epoch_lists[region].append(fctx.ctx, watch_ids)
+            self._epoch_cache[region] = list(new)
+        return None
+
+    def _epoch_remove_process(self, invocation_done, watch_ids: List[str]):
+        """Helper process: wait for the watch fan-out, then clear the epoch
+        entries (the WatchCallback of Algorithm 2, step ➏)."""
+        try:
+            yield invocation_done
+        except Exception:
+            pass  # fan-out retried internally; clear regardless of outcome
+        ctx = self.service.system_ctx
+        for region in self.service.config.regions:
+            new = yield from self.service.epoch_lists[region].remove(ctx, watch_ids)
+            if self._epoch_cache is not None:
+                self._epoch_cache[region] = list(new)
+        return None
+
+    # ------------------------------------------------------------ handler
+    def handler(self, fctx, batch: List[Dict[str, Any]]) -> Generator:
+        yield from self._load_epoch(fctx)
+        self._pending_callbacks = []
+        for msg in batch:
+            yield from self.process(fctx, msg)
+        # WaitAll(WatchCallback): the instance lingers until all of its
+        # notifications are delivered and cleared from the epoch.
+        if self._pending_callbacks:
+            yield AllOf(fctx.env, self._pending_callbacks)
+        self._pending_callbacks = []
+        return None
+
+    def process(self, fctx, msg: Dict[str, Any]) -> Generator:
+        env = fctx.env
+        txid = msg["_seq"]
+        path = msg["path"]
+        sys_store = self.service.system_store
+
+        # ➊ verify commit status
+        t0 = env.now
+        node = yield from sys_store.get_item(fctx.ctx, SYSTEM_NODES, path)
+        fctx.record("get_node", env.now - t0)
+        node = node or {}
+        if node.get("applied_tx", 0) >= txid:
+            # Redelivered after a partial batch: already replicated.
+            yield from self._notify_success(fctx, msg, txid)
+            return None
+        pending = node.get("transactions", [])
+        if txid not in pending:
+            committed = yield from self._try_commit(fctx, msg, txid, node)
+            if not committed:
+                return None
+        elif pending[0] != txid:
+            # Predecessor still unpopped — should not happen under FIFO
+            # delivery, but redelivery is always safe.
+            raise RetryBatch(f"txid {txid} behind {pending[0]} on {path}")
+
+        affected = [(path, msg["node_image"], False)]
+        if msg.get("parent"):
+            affected.append((msg["parent"], msg["parent_image"], True))
+
+        # ➌ replicate to user stores, all regions in parallel
+        t0 = env.now
+        data_kb = len(msg["node_image"].get("data", b"") or b"") / 1024.0
+        yield fctx.compute(base_ms=0.3, payload_kb=data_kb, per_kb_ms=0.12)
+        procs = []
+        for region in self.service.config.regions:
+            epoch = self.epoch_snapshot(region)
+            for target_path, image, is_parent in affected:
+                procs.append(env.process(
+                    self._replicate(fctx, region, target_path, image, epoch,
+                                    txid, msg["op"], is_parent),
+                    name=f"replicate:{target_path}@{region}"))
+        if procs:
+            yield AllOf(env, procs)
+        fctx.record("update_user", env.now - t0)
+
+        # ➍ watches: query + consume + fan out
+        t0 = env.now
+        triggered: List[TriggeredWatch] = []
+        for target_path, _image, is_parent in affected:
+            witem = yield from self.service.watch_registry.query(fctx.ctx, target_path)
+            found = yield from self.service.watch_registry.consume(
+                fctx.ctx, target_path, msg["op"], is_parent, witem)
+            triggered.extend(found)
+        fctx.record("watch_query", env.now - t0)
+        if triggered:
+            watch_ids = [t.watch_id for t in triggered]
+            yield from self._epoch_add(fctx, watch_ids)
+            done = self.service.invoke_watch_fn(triggered, txid)
+            cb = env.process(self._epoch_remove_process(done, watch_ids),
+                             name="watch-callback")
+            self._pending_callbacks.append(cb)
+
+        # ➎ notify + pop
+        yield from self._notify_success(fctx, msg, txid)
+        t0 = env.now
+        for target_path, _image, _is_parent in affected:
+            try:
+                yield from sys_store.update_item(
+                    fctx.ctx, SYSTEM_NODES, target_path,
+                    updates=[ListRemove("transactions", [txid]),
+                             Set("applied_tx", txid)],
+                    condition=Attr("applied_tx").not_exists()
+                    | (Attr("applied_tx") < txid),
+                    payload_kb=0.032,
+                )
+            except ConditionFailed:  # pragma: no cover - concurrent watermark
+                pass
+        fctx.record("pop", env.now - t0)
+        return None
+
+    # ------------------------------------------------------------ steps
+    def _try_commit(self, fctx, msg: Dict[str, Any], txid: int,
+                    node: Dict[str, Any]) -> Generator[Any, Any, bool]:
+        """Step ➋: commit on behalf of a (presumably dead) follower.
+
+        Returns True when the transaction is committed (by us or, as we
+        raced, by the recovering follower); False when the request is
+        definitively rejected.  Raises :class:`RetryBatch` while the
+        follower's lease is still live.
+        """
+        env = fctx.env
+        t0 = env.now
+        lock_ts = (node.get("lock") or {}).get("ts")
+        max_hold = self.service.config.lock_max_hold_ms
+        if lock_ts is not None and env.now - lock_ts < max_hold:
+            fctx.record("try_commit", env.now - t0)
+            raise RetryBatch(f"lock live on {msg['path']} for txid {txid}")
+
+        lock_free = Attr("lock.ts").not_exists() | (
+            Attr("lock.ts") <= env.now - max_hold)
+        applied_before = Attr("applied_tx").not_exists() | (Attr("applied_tx") < txid)
+        guard = lock_free & applied_before & (
+            ~Attr("transactions").contains(txid))
+        if msg["op"] == "set_data":
+            guard = guard & (Attr("version") == msg["prev_version"])
+        elif msg.get("parent_prev_cversion") is not None:
+            # create/delete: the node-side guard is implied by the parent's
+            # child-list version, which any conflicting operation must bump.
+            pass
+
+        ops = []
+        node_updates = [Set(k, v) for k, v in msg["commit_sets"].items()]
+        if msg["op"] == "create":
+            node_updates += [Set("created_tx", txid), Set("modified_tx", txid)]
+        else:
+            node_updates += [Set("modified_tx", txid)]
+        node_updates.append(ListAppend("transactions", [txid]))
+        ops.append((SYSTEM_NODES, msg["path"], node_updates, guard))
+        if msg.get("parent"):
+            parent_lock_free = Attr("lock.ts").not_exists() | (
+                Attr("lock.ts") <= env.now - max_hold)
+            parent_guard = parent_lock_free & (
+                Attr("cversion") == msg["parent_prev_cversion"])
+            parent_updates = [Set(k, v) for k, v in msg["parent_sets"].items()]
+            parent_updates.append(ListAppend("transactions", [txid]))
+            ops.append((SYSTEM_NODES, msg["parent"], parent_updates, parent_guard))
+        try:
+            yield from self.service.system_store.transact_update(fctx.ctx, ops)
+            fctx.record("try_commit", env.now - t0)
+            return True
+        except ConditionFailed:
+            pass
+        # Re-read: the follower may have committed while we tried.
+        fresh = yield from self.service.system_store.get_item(
+            fctx.ctx, SYSTEM_NODES, msg["path"])
+        fresh = fresh or {}
+        fctx.record("try_commit", env.now - t0)
+        if txid in fresh.get("transactions", []) or fresh.get("applied_tx", 0) >= txid:
+            return True
+        if (fresh.get("lock") or {}).get("ts") is not None and \
+                env.now - fresh["lock"]["ts"] < max_hold:
+            raise RetryBatch(f"lock re-taken on {msg['path']}")
+        # The request was never committed and cannot be: reject (Z1 intact).
+        yield from self.service.notify_response(Response(
+            session=msg["session"], rid=msg["rid"], ok=False,
+            error="system_failure"))
+        return False
+
+    def _replicate(self, fctx, region: str, path: str,
+                   image: Optional[Dict[str, Any]], epoch: List[str],
+                   txid: int, op: str, is_parent: bool) -> Generator:
+        store = self.service.user_store
+        if image is None:  # pragma: no cover - defensive
+            return None
+        if image.get("deleted"):
+            yield from store.delete_node(fctx.ctx, region, path)
+            return None
+        full = dict(image)
+        full["epoch"] = epoch
+        if not is_parent:
+            full["modified_tx"] = txid
+            if op == "create":
+                full["created_tx"] = txid
+            yield from store.write_node(fctx.ctx, region, path, full)
+        else:
+            # Parent updates touch metadata only (child list, cversion); the
+            # leader downloads the node and rewrites it around the existing
+            # data (Section 3.2's read-update-write).
+            full.pop("meta_only", None)
+            yield from store.update_metadata(fctx.ctx, region, path, full)
+        return None
+
+    def _notify_success(self, fctx, msg: Dict[str, Any], txid: int) -> Generator:
+        env = fctx.env
+        t0 = env.now
+        if msg["rid"] >= 0:
+            image = msg["node_image"]
+            yield from self.service.notify_response(Response(
+                session=msg["session"], rid=msg["rid"], ok=True,
+                path=msg["path"], txid=txid,
+                version=image.get("version", 0) if not image.get("deleted") else 0,
+            ))
+        fctx.record("notify", env.now - t0)
+        return None

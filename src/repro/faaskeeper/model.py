@@ -1,0 +1,152 @@
+"""Data model: node stats, watch events, request/response envelopes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from .exceptions import BadArgumentsError
+
+__all__ = [
+    "ACL_PERMS",
+    "OPEN_ACL",
+    "acl_allows",
+    "NodeStat",
+    "WatchType",
+    "WatchedEvent",
+    "EventType",
+    "Request",
+    "Response",
+    "validate_path",
+    "parent_path",
+    "node_name",
+]
+
+
+class WatchType(str, Enum):
+    """What kind of change a watch fires on (ZooKeeper watch classes)."""
+
+    DATA = "data"          # set_data / delete on the node
+    EXISTS = "exists"      # create / delete of the node
+    CHILDREN = "children"  # create / delete of a direct child
+
+
+class EventType(str, Enum):
+    """Client-visible watch event types."""
+
+    NODE_DATA_CHANGED = "node_data_changed"
+    NODE_CREATED = "node_created"
+    NODE_DELETED = "node_deleted"
+    NODE_CHILDREN_CHANGED = "node_children_changed"
+
+
+@dataclass(frozen=True)
+class NodeStat:
+    """Per-node metadata, the analogue of ZooKeeper's ``Stat``.
+
+    ``created_tx``/``modified_tx`` are FaaSKeeper txids (the zxid analogue);
+    ``version`` counts data changes, ``cversion`` child-list changes.
+    """
+
+    created_tx: int
+    modified_tx: int
+    version: int
+    cversion: int
+    num_children: int
+    data_length: int
+    ephemeral_owner: Optional[str] = None
+
+    @classmethod
+    def from_image(cls, image: Dict[str, Any]) -> "NodeStat":
+        data = image.get("data", b"") or b""
+        return cls(
+            created_tx=image.get("created_tx", 0),
+            modified_tx=image.get("modified_tx", 0),
+            version=image.get("version", 0),
+            cversion=image.get("cversion", 0),
+            num_children=len(image.get("children", [])),
+            data_length=len(data),
+            ephemeral_owner=image.get("ephemeral_owner"),
+        )
+
+
+@dataclass(frozen=True)
+class WatchedEvent:
+    """Delivered to watch callbacks."""
+
+    type: EventType
+    path: str
+    txid: int
+
+
+ACL_PERMS = ("read", "write", "create", "delete")
+
+#: Everyone-may-do-everything ACL (ZooKeeper's OPEN_ACL_UNSAFE).
+OPEN_ACL = {perm: ["world"] for perm in ACL_PERMS}
+
+
+def acl_allows(acl, perm: str, session: str) -> bool:
+    """Check one permission of a node ACL for a session (Section 4.4)."""
+    if not acl:
+        return True
+    allowed = acl.get(perm, [])
+    return "world" in allowed or session in allowed
+
+
+@dataclass
+class Request:
+    """Client -> follower queue message."""
+
+    session: str
+    rid: int                      # per-session request id (dedup + ordering)
+    op: str                       # create | set_data | delete | close_session
+    path: str = ""
+    data: bytes = b""
+    version: int = -1             # expected version, -1 = unconditional
+    ephemeral: bool = False
+    sequence: bool = False
+    acl: dict | None = None       # ACL for the created node
+
+    @property
+    def size_kb(self) -> float:
+        return (len(self.data) + 128) / 1024.0
+
+
+@dataclass
+class Response:
+    """Function -> client notification (success/failure of a request)."""
+
+    session: str
+    rid: int
+    ok: bool
+    error: str = ""
+    path: str = ""                # created path (sequential nodes)
+    txid: int = 0
+    version: int = 0
+
+
+def validate_path(path: str, allow_root: bool = True) -> None:
+    """ZooKeeper path rules: absolute, no trailing slash, no empty segments."""
+    if not path or not path.startswith("/"):
+        raise BadArgumentsError(f"path must start with '/': {path!r}")
+    if path == "/":
+        if not allow_root:
+            raise BadArgumentsError("operation not permitted on '/'")
+        return
+    if path.endswith("/"):
+        raise BadArgumentsError(f"path must not end with '/': {path!r}")
+    for segment in path[1:].split("/"):
+        if not segment or segment in (".", ".."):
+            raise BadArgumentsError(f"invalid path segment in {path!r}")
+
+
+def parent_path(path: str) -> str:
+    if path == "/":
+        raise BadArgumentsError("'/' has no parent")
+    parent = path.rsplit("/", 1)[0]
+    return parent or "/"
+
+
+def node_name(path: str) -> str:
+    return path.rsplit("/", 1)[1]

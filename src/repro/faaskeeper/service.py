@@ -1,0 +1,236 @@
+"""FaaSKeeper deployment: wiring functions, queues and storage (Figure 2b).
+
+``FaaSKeeperService.deploy(cloud, config)`` stands up one instance:
+
+* system tables (nodes, state, sessions, watches) in the key-value store;
+* the user store backend of choice, replicated per region;
+* the leader FIFO queue feeding the single leader function;
+* a follower function shared by all per-session FIFO queues;
+* the watch fan-out free function;
+* the scheduled heartbeat function (auto-suspended at zero sessions —
+  the scale-to-zero property of Table 1).
+
+``connect()`` returns a :class:`~repro.faaskeeper.client.FaaSKeeperClient`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, List, Optional
+
+from ..cloud.cloud import Cloud
+from ..cloud.context import OpContext
+from ..primitives import AtomicList, TimedLock
+from .client import FaaSKeeperClient
+from .config import FaaSKeeperConfig
+from .follower import FollowerLogic
+from .gc import GarbageCollectorLogic
+from .heartbeat import HeartbeatLogic
+from .layout import (
+    SYSTEM_NODES,
+    SYSTEM_SESSIONS,
+    SYSTEM_STATE,
+    SYSTEM_WATCHES,
+    epoch_key,
+    new_system_node,
+    user_image_from_system,
+)
+from .leader import LeaderLogic
+from .model import Response, WatchedEvent
+from .watch_fn import WatchFanoutLogic
+from .watches import WatchRegistry
+
+__all__ = ["FaaSKeeperService"]
+
+
+class FaaSKeeperService:
+    """One deployed FaaSKeeper instance."""
+
+    def __init__(self, cloud: Cloud, config: FaaSKeeperConfig) -> None:
+        self.cloud = cloud
+        self.config = config
+        self.rng = cloud.rng.stream("faaskeeper")
+        self.system_ctx = OpContext(region=config.primary_region)
+
+        # --- system storage -------------------------------------------------
+        self.system_store = cloud.kv("dynamodb:system", region=config.primary_region)
+        for table in (SYSTEM_NODES, SYSTEM_STATE, SYSTEM_SESSIONS, SYSTEM_WATCHES):
+            self.system_store.create_table(table)
+        self.node_lock = TimedLock(self.system_store, SYSTEM_NODES,
+                                   max_hold_ms=config.lock_max_hold_ms)
+        self.epoch_lists: Dict[str, AtomicList] = {
+            region: AtomicList(self.system_store, SYSTEM_STATE,
+                               epoch_key(region), attr="items")
+            for region in config.regions
+        }
+        self.watch_registry = WatchRegistry(self.system_store)
+
+        # --- user storage ---------------------------------------------------
+        from .userstore import make_user_store
+
+        self.user_store = make_user_store(cloud, config)
+
+        # --- functions & queues ----------------------------------------------
+        self.follower_logic = FollowerLogic(self)
+        self.leader_logic = LeaderLogic(self)
+        self.watch_logic = WatchFanoutLogic(self)
+        self.heartbeat_logic = HeartbeatLogic(self)
+        self.gc_logic = GarbageCollectorLogic(self)
+
+        fn_kwargs = dict(memory_mb=config.function_memory_mb, arch=config.arch,
+                         cpu_alloc=config.cpu_alloc, region=config.primary_region)
+        self.follower_fn = cloud.deploy_function(
+            "fk-follower", self.follower_logic.handler, **fn_kwargs)
+        self.leader_fn = cloud.deploy_function(
+            "fk-leader", self.leader_logic.handler, **fn_kwargs)
+        self.watch_fn = cloud.deploy_function(
+            "fk-watch", self.watch_logic.handler, **fn_kwargs)
+        self.heartbeat_fn = cloud.deploy_function(
+            "fk-heartbeat", self.heartbeat_logic.handler, **fn_kwargs)
+        self.gc_fn = cloud.deploy_function(
+            "fk-gc", self.gc_logic.handler, **fn_kwargs)
+
+        self.leader_queue = cloud.fifo_queue(
+            "fk-leader-q", label="sqs", max_receive=config.leader_max_receive)
+        self.leader_queue.attach(self.leader_fn, batch_limit=config.leader_batch)
+
+        self.heartbeat_task = cloud.runtime.schedule(
+            self.heartbeat_fn, period_ms=config.heartbeat_period_ms)
+        self.heartbeat_task.stop()  # scale-to-zero until a client connects
+        self.gc_task = cloud.runtime.schedule(
+            self.gc_fn, period_ms=config.gc_period_ms)
+        self.gc_task.stop()
+
+        # --- sessions ----------------------------------------------------------
+        self._session_ids = itertools.count(1)
+        self.clients: Dict[str, FaaSKeeperClient] = {}
+        self._session_queues: Dict[str, Any] = {}
+
+        self._bootstrap_root()
+
+    # ------------------------------------------------------------ deployment
+    @classmethod
+    def deploy(cls, cloud: Cloud, config: Optional[FaaSKeeperConfig] = None
+               ) -> "FaaSKeeperService":
+        return cls(cloud, config or FaaSKeeperConfig())
+
+    def _bootstrap_root(self) -> None:
+        """Install "/" in system and user stores (zero-latency, deploy time)."""
+        root = new_system_node(0, created_tx=0)
+        self.system_store.table(SYSTEM_NODES)._store("/", root)
+        for region in self.config.regions:
+            image = user_image_from_system("/", root, epoch=[])
+            self.cloud.run_process(
+                self.user_store.write_node(self.system_ctx, region, "/", image))
+        # epoch counters start empty
+        for region in self.config.regions:
+            self.system_store.table(SYSTEM_STATE)._store(
+                epoch_key(region), {"items": []})
+
+    # ------------------------------------------------------------ sessions
+    @property
+    def active_sessions(self) -> int:
+        return sum(1 for c in self.clients.values() if not c.closed)
+
+    def connect(self, region: Optional[str] = None) -> FaaSKeeperClient:
+        """Open a session: its own FIFO queue, a session record, a client."""
+        session_id = f"s{next(self._session_ids)}"
+        region = region or self.config.primary_region
+        queue = self.cloud.fifo_queue(
+            f"fk-session-{session_id}", label="sqs",
+            max_receive=self.config.follower_max_receive)
+        queue.attach(self.follower_fn, batch_limit=self.config.follower_batch)
+        self._session_queues[session_id] = queue
+        self.cloud.run_process(self.system_store.put_item(
+            OpContext(region=region), SYSTEM_SESSIONS, session_id,
+            {"ephemeral": [], "region": region, "last_rid": 0}))
+        client = FaaSKeeperClient(self, session_id, region, queue)
+        self.clients[session_id] = client
+        if self.active_sessions == 1:
+            self.heartbeat_task.start()
+            self.gc_task.start()
+        return client
+
+    def on_session_closed(self, session_id: str) -> None:
+        client = self.clients.get(session_id)
+        if client is not None:
+            client._mark_closed()
+        if self.active_sessions == 0:
+            # Scale-to-zero: with no clients there is nothing to monitor and
+            # the only remaining charges are storage retention (Section 5.3.4).
+            self.heartbeat_task.stop()
+            self.gc_task.stop()
+
+    # ------------------------------------------------------------ notification
+    def notify_response(self, response: Response) -> Generator:
+        """Function -> client result push (the TCP reply of Section 5.2.2)."""
+        client = self.clients.get(response.session)
+        latency = self.cloud.profile.tcp_reply.sample(
+            self.cloud.rng.stream("tcp"), 0.0)
+        yield self.cloud.env.timeout(latency)
+        if client is not None:
+            client._deliver_response(response)
+        return None
+
+    def notify_watch_process(self, session: str, watch_id: str,
+                             event: WatchedEvent) -> Generator:
+        """One watch delivery to one client (spawned by the watch function)."""
+        client = self.clients.get(session)
+        latency = self.cloud.profile.tcp_reply.sample(
+            self.cloud.rng.stream("tcp"), 0.0)
+        yield self.cloud.env.timeout(latency)
+        if client is not None and not client.closed:
+            client._deliver_watch(watch_id, event)
+        return None
+
+    def invoke_watch_fn(self, triggered: List, txid: int):
+        """Free-function invocation of the watch fan-out (leader step ➍)."""
+        payload = {
+            "txid": txid,
+            "watches": [
+                {
+                    "watch_id": t.watch_id,
+                    "path": t.path,
+                    "event": t.event.value,
+                    "sessions": t.sessions,
+                }
+                for t in triggered
+            ],
+        }
+        return self.cloud.runtime.invoke_direct(self.watch_fn, payload)
+
+    # ------------------------------------------------------------ heartbeat
+    def heartbeat_ping(self, session_id: str) -> Generator:
+        """Ping one client; returns True when it answers in time."""
+        client = self.clients.get(session_id)
+        latency = self.cloud.profile.tcp_reply.sample(
+            self.cloud.rng.stream("tcp"), 0.0)
+        yield self.cloud.env.timeout(latency)
+        return bool(client is not None and client.alive and not client.closed)
+
+    def enqueue_eviction(self, ctx: OpContext, session_id: str) -> Generator:
+        """Queue a deregistration request into the session's own queue, so it
+        orders after any writes the session already submitted."""
+        queue = self._session_queues.get(session_id)
+        if queue is None:  # pragma: no cover - defensive
+            return None
+        yield from queue.send(ctx, {
+            "session": session_id, "rid": -1, "op": "close_session",
+        }, group=session_id, size_kb=0.1)
+        return None
+
+    # ------------------------------------------------------------ accounting
+    def cost_breakdown(self) -> Dict[str, float]:
+        """Metered dollars by category (Figures 9/11 cost bars)."""
+        by = self.cloud.meter.by_service()
+        return {
+            "queue": sum(v for k, v in by.items() if k.startswith("sqs")),
+            "system_store": by.get("dynamodb:system", 0.0),
+            "user_store": by.get("dynamodb:user", 0.0) + by.get("s3", 0.0),
+            "s3": by.get("s3", 0.0),
+            "dynamodb": by.get("dynamodb:system", 0.0) + by.get("dynamodb:user", 0.0),
+            "follower": by.get("fn:fk-follower", 0.0),
+            "leader": by.get("fn:fk-leader", 0.0),
+            "watch": by.get("fn:fk-watch", 0.0),
+            "heartbeat": by.get("fn:fk-heartbeat", 0.0),
+        }

@@ -1,0 +1,249 @@
+"""User-data storage backends (Section 4.2, Figures 8/9/11).
+
+The user store holds the read-optimized replica of every node.  Four
+backends, matching the paper's evaluation:
+
+* **S3Backend** — object store only.  Writes are whole-object: the leader
+  first downloads the existing node, then uploads the full new image (the
+  read-modify-write cost the paper attributes to missing partial updates,
+  Requirement #6).
+* **DynamoBackend** — key-value only: fast small reads, per-kB write costs
+  that explode for large nodes.
+* **HybridBackend** — nodes up to ``threshold_kb`` live entirely in the
+  key-value store; for larger nodes the metadata stays in the key-value
+  item and the data bytes go to the object store.  Reads start at the
+  key-value item and only large nodes pay the second request.
+* **RedisBackend** — user-managed in-memory cache: ZooKeeper-level latency,
+  but a provisioned VM (not serverless).
+
+All backends expose per-region replicas; the leader writes each region and
+clients read their local one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..cloud.cloud import Cloud
+from ..cloud.context import OpContext
+from ..cloud.errors import NoSuchObject
+from ..cloud.expressions import item_size_kb
+from .config import FaaSKeeperConfig, UserStoreKind
+from .layout import USER_BUCKET, USER_TABLE
+
+__all__ = ["UserStore", "make_user_store"]
+
+
+class UserStore:
+    """Abstract backend: region-replicated node images."""
+
+    kind: str = "?"
+
+    def __init__(self, cloud: Cloud, regions: List[str]) -> None:
+        self.cloud = cloud
+        self.regions = list(regions)
+
+    # API ------------------------------------------------------------------
+    def write_node(self, ctx: OpContext, region: str, path: str,
+                   image: Dict[str, Any]) -> Generator[Any, Any, None]:
+        raise NotImplementedError
+
+    def read_node(self, ctx: OpContext, region: str, path: str
+                  ) -> Generator[Any, Any, Optional[Dict[str, Any]]]:
+        raise NotImplementedError
+
+    def delete_node(self, ctx: OpContext, region: str, path: str
+                    ) -> Generator[Any, Any, None]:
+        raise NotImplementedError
+
+    def update_metadata(self, ctx: OpContext, region: str, path: str,
+                        meta_image: Dict[str, Any]) -> Generator[Any, Any, None]:
+        """Read-update-write of a node's metadata, preserving its data.
+
+        The leader uses this for parent nodes (child list / cversion
+        changes): the node data itself did not change, but object storage
+        has no partial updates (Requirement #6), so the whole node is
+        downloaded and rewritten.
+        """
+        existing = yield from self.read_node(ctx, region, path)
+        merged = dict(meta_image)
+        merged["data"] = (existing or {}).get("data", b"")
+        yield from self.write_node(ctx, region, path, merged)
+
+    @staticmethod
+    def image_size_kb(image: Dict[str, Any]) -> float:
+        return item_size_kb(image)
+
+
+class S3Backend(UserStore):
+    """Object store backend: node image serialized as one object."""
+
+    kind = UserStoreKind.S3
+
+    def __init__(self, cloud: Cloud, regions: List[str]) -> None:
+        super().__init__(cloud, regions)
+        for region in regions:
+            store = cloud.objectstore("s3", region=region)
+            store.create_bucket(USER_BUCKET)
+
+    def write_node(self, ctx, region, path, image):
+        store = self.cloud.objectstore("s3", region=region)
+        # No partial updates (Requirement #6): even a metadata-only change
+        # requires downloading the old node before uploading the new one.
+        try:
+            yield from store.get_object(ctx, USER_BUCKET, path)
+        except NoSuchObject:
+            pass
+        meta = {k: v for k, v in image.items() if k != "data"}
+        yield from store.put_object(ctx, USER_BUCKET, path, image.get("data", b""), meta)
+
+    def read_node(self, ctx, region, path):
+        store = self.cloud.objectstore("s3", region=region)
+        try:
+            payload, meta = yield from store.get_object(ctx, USER_BUCKET, path)
+        except NoSuchObject:
+            return None
+        image = dict(meta)
+        image["data"] = payload
+        return image
+
+    def delete_node(self, ctx, region, path):
+        store = self.cloud.objectstore("s3", region=region)
+        yield from store.delete_object(ctx, USER_BUCKET, path)
+
+    def update_metadata(self, ctx, region, path, meta_image):
+        # Single download + whole-object upload (Table 3's "Update Node").
+        store = self.cloud.objectstore("s3", region=region)
+        try:
+            payload, _meta = yield from store.get_object(ctx, USER_BUCKET, path)
+        except NoSuchObject:
+            payload = b""
+        meta = {k: v for k, v in meta_image.items() if k != "data"}
+        yield from store.put_object(ctx, USER_BUCKET, path, payload, meta)
+
+
+class DynamoBackend(UserStore):
+    """Key-value backend: node image stored as one item."""
+
+    kind = UserStoreKind.DYNAMODB
+
+    def __init__(self, cloud: Cloud, regions: List[str]) -> None:
+        super().__init__(cloud, regions)
+        for region in regions:
+            kv = cloud.kv("dynamodb:user", region=region)
+            kv.create_table(USER_TABLE)
+
+    def write_node(self, ctx, region, path, image):
+        kv = self.cloud.kv("dynamodb:user", region=region)
+        yield from kv.put_item(ctx, USER_TABLE, path, image)
+
+    def read_node(self, ctx, region, path):
+        kv = self.cloud.kv("dynamodb:user", region=region)
+        return (yield from kv.get_item(ctx, USER_TABLE, path, consistent=True))
+
+    def delete_node(self, ctx, region, path):
+        kv = self.cloud.kv("dynamodb:user", region=region)
+        yield from kv.delete_item(ctx, USER_TABLE, path)
+
+
+class HybridBackend(UserStore):
+    """Small nodes in the key-value store, large data spilled to S3.
+
+    Section 4.2: optimizes for the common case (ZooKeeper nodes are tiny —
+    the HBase study in Section 5.1 found a median node size of 0 bytes)
+    while keeping large-node costs bounded by object-storage prices.
+    """
+
+    kind = UserStoreKind.HYBRID
+
+    def __init__(self, cloud: Cloud, regions: List[str],
+                 threshold_kb: float = 4.0) -> None:
+        super().__init__(cloud, regions)
+        self.threshold_kb = threshold_kb
+        for region in regions:
+            cloud.kv("dynamodb:user", region=region).create_table(USER_TABLE)
+            cloud.objectstore("s3", region=region).create_bucket(USER_BUCKET)
+
+    def write_node(self, ctx, region, path, image):
+        kv = self.cloud.kv("dynamodb:user", region=region)
+        store = self.cloud.objectstore("s3", region=region)
+        data = image.get("data", b"")
+        if len(data) / 1024.0 <= self.threshold_kb:
+            yield from kv.put_item(ctx, USER_TABLE, path, dict(image, data_in_s3=False))
+            return
+        meta = {k: v for k, v in image.items() if k != "data"}
+        meta["data_in_s3"] = True
+        # The two writes are not atomic; write data first so a reader that
+        # sees the new metadata always finds the matching object version.
+        yield from store.put_object(ctx, USER_BUCKET, path, data, {})
+        yield from kv.put_item(ctx, USER_TABLE, path, meta)
+
+    def read_node(self, ctx, region, path):
+        kv = self.cloud.kv("dynamodb:user", region=region)
+        item = yield from kv.get_item(ctx, USER_TABLE, path, consistent=True)
+        if item is None:
+            return None
+        if not item.get("data_in_s3"):
+            item.pop("data_in_s3", None)
+            return item
+        store = self.cloud.objectstore("s3", region=region)
+        try:
+            payload, _meta = yield from store.get_object(ctx, USER_BUCKET, path)
+        except NoSuchObject:  # pragma: no cover - defensive
+            payload = b""
+        item.pop("data_in_s3", None)
+        item["data"] = payload
+        return item
+
+    def delete_node(self, ctx, region, path):
+        kv = self.cloud.kv("dynamodb:user", region=region)
+        item = yield from kv.get_item(ctx, USER_TABLE, path, consistent=True)
+        yield from kv.delete_item(ctx, USER_TABLE, path)
+        if item is not None and item.get("data_in_s3"):
+            store = self.cloud.objectstore("s3", region=region)
+            yield from store.delete_object(ctx, USER_BUCKET, path)
+
+    def update_metadata(self, ctx, region, path, meta_image):
+        # Metadata lives in the key-value item; large data in S3 is left
+        # untouched — the hybrid layout's cheap-parent-update advantage.
+        kv = self.cloud.kv("dynamodb:user", region=region)
+        item = yield from kv.get_item(ctx, USER_TABLE, path, consistent=True)
+        meta = {k: v for k, v in meta_image.items() if k != "data"}
+        if item is not None and item.get("data_in_s3"):
+            meta["data_in_s3"] = True
+            yield from kv.put_item(ctx, USER_TABLE, path, meta)
+        else:
+            meta["data"] = (item or {}).get("data", b"")
+            meta["data_in_s3"] = False
+            yield from kv.put_item(ctx, USER_TABLE, path, meta)
+
+
+class RedisBackend(UserStore):
+    """User-managed in-memory cache (Figure 8's Redis line)."""
+
+    kind = UserStoreKind.REDIS
+
+    def write_node(self, ctx, region, path, image):
+        cache = self.cloud.cache("redis", region=region)
+        yield from cache.set(ctx, path, image)
+
+    def read_node(self, ctx, region, path):
+        cache = self.cloud.cache("redis", region=region)
+        return (yield from cache.get(ctx, path))
+
+    def delete_node(self, ctx, region, path):
+        cache = self.cloud.cache("redis", region=region)
+        yield from cache.delete(ctx, path)
+
+
+def make_user_store(cloud: Cloud, config: FaaSKeeperConfig) -> UserStore:
+    kind = config.user_store
+    if kind == UserStoreKind.S3:
+        return S3Backend(cloud, config.regions)
+    if kind == UserStoreKind.DYNAMODB:
+        return DynamoBackend(cloud, config.regions)
+    if kind == UserStoreKind.HYBRID:
+        return HybridBackend(cloud, config.regions, config.hybrid_threshold_kb)
+    if kind == UserStoreKind.REDIS:
+        return RedisBackend(cloud, config.regions)
+    raise ValueError(f"unknown user store kind {kind!r}")  # pragma: no cover

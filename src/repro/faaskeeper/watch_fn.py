@@ -1,0 +1,49 @@
+"""The watch fan-out function (Section 4.1, "Decoupling Watch Delivery").
+
+Delivering one watch may mean notifying hundreds of clients; doing that from
+the leader would serialize the write pipeline.  FaaSKeeper moves the fan-out
+into a separate *free* function so resource allocation scales with the
+number of watchers, while the leader only pays the cheap watch-table query.
+
+The payload is a list of triggered watch instances; each watcher session is
+notified in parallel.  The function completes when every delivery finished —
+that completion is what the leader's WatchCallback (epoch cleanup) awaits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List
+
+from ..sim.kernel import AllOf
+from .model import EventType, WatchedEvent
+
+__all__ = ["WatchFanoutLogic"]
+
+
+class WatchFanoutLogic:
+    """Behaviour of the watch function, bound to one deployment."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    def handler(self, fctx, payload: Dict[str, Any]) -> Generator:
+        """payload = {"txid": int, "watches": [{watch_id, path, event,
+        sessions}, ...]}"""
+        env = fctx.env
+        txid = payload["txid"]
+        deliveries = []
+        for watch in payload["watches"]:
+            event = WatchedEvent(
+                type=EventType(watch["event"]),
+                path=watch["path"],
+                txid=txid,
+            )
+            for session in watch["sessions"]:
+                deliveries.append(env.process(
+                    self.service.notify_watch_process(
+                        session, watch["watch_id"], event),
+                    name=f"deliver:{watch['watch_id']}:{session}",
+                ))
+        if deliveries:
+            yield AllOf(env, deliveries)
+        return len(deliveries)

@@ -1,0 +1,123 @@
+"""Watch registry over the system watch table (Section 3.4).
+
+Each node path has at most one *watch instance* per watch type; hundreds of
+clients may join the same instance (the paper: "multiple clients can be
+assigned to a single watch instance").  An instance has a unique identifier
+— the value the epoch counter tracks while its notification is in flight.
+
+Registration is a single conditional-free update: ``SetIfNotExists`` on the
+instance id plus ``ListAppend`` on the session list, so concurrent
+registrations race safely (first writer names the instance; everyone reads
+the winning id from the returned image).
+
+Consumption (watches are one-shot, as in ZooKeeper) removes the instance
+atomically; the leader then hands the (id, sessions) pairs to the watch
+function for fan-out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..cloud.context import OpContext
+from ..cloud.expressions import ListAppend, Remove, SetIfNotExists
+from ..cloud.kvstore import KeyValueStore
+from .layout import SYSTEM_WATCHES
+from .model import EventType, WatchType
+
+__all__ = ["WatchRegistry", "TriggeredWatch", "triggered_watch_types"]
+
+_uid = itertools.count(1)
+
+
+class TriggeredWatch:
+    """A consumed watch instance, ready for fan-out."""
+
+    __slots__ = ("watch_id", "path", "wtype", "event", "sessions")
+
+    def __init__(self, watch_id: str, path: str, wtype: WatchType,
+                 event: EventType, sessions: List[str]) -> None:
+        self.watch_id = watch_id
+        self.path = path
+        self.wtype = wtype
+        self.event = event
+        self.sessions = sessions
+
+
+def triggered_watch_types(op: str, is_parent: bool) -> List[Tuple[WatchType, EventType]]:
+    """Which watch types fire for an operation on a node / its parent."""
+    if is_parent:
+        # Changes to a child fire the parent's children watch.
+        if op in ("create", "delete"):
+            return [(WatchType.CHILDREN, EventType.NODE_CHILDREN_CHANGED)]
+        return []
+    if op == "create":
+        return [(WatchType.EXISTS, EventType.NODE_CREATED)]
+    if op == "set_data":
+        return [
+            (WatchType.DATA, EventType.NODE_DATA_CHANGED),
+            (WatchType.EXISTS, EventType.NODE_DATA_CHANGED),
+        ]
+    if op == "delete":
+        return [
+            (WatchType.DATA, EventType.NODE_DELETED),
+            (WatchType.EXISTS, EventType.NODE_DELETED),
+            (WatchType.CHILDREN, EventType.NODE_DELETED),
+        ]
+    return []
+
+
+class WatchRegistry:
+    """Client-side registration and leader-side consumption of watches."""
+
+    def __init__(self, store: KeyValueStore) -> None:
+        self.store = store
+
+    def register(self, ctx: OpContext, path: str, wtype: WatchType,
+                 session: str) -> Generator[Any, Any, str]:
+        """Join (creating if needed) the watch instance; returns its id."""
+        candidate = f"w{next(_uid)}|{path}|{wtype.value}"
+        image = yield from self.store.update_item(
+            ctx, SYSTEM_WATCHES, path,
+            updates=[
+                SetIfNotExists(f"inst.{wtype.value}.id", candidate),
+                ListAppend(f"inst.{wtype.value}.sessions", [session]),
+            ],
+            payload_kb=0.064,
+        )
+        return image["inst"][wtype.value]["id"]
+
+    def query(self, ctx: OpContext, path: str
+              ) -> Generator[Any, Any, Optional[Dict[str, Any]]]:
+        """Leader step ➍ prelude: the per-write watch lookup."""
+        return (yield from self.store.get_item(ctx, SYSTEM_WATCHES, path))
+
+    def consume(self, ctx: OpContext, path: str, op: str, is_parent: bool,
+                watch_item: Optional[Dict[str, Any]],
+                ) -> Generator[Any, Any, List[TriggeredWatch]]:
+        """Atomically remove the instances triggered by ``op`` on ``path``.
+
+        ``watch_item`` is the result of a prior :meth:`query`; when it shows
+        no matching instances the consume is free (no storage write).
+        """
+        if not watch_item:
+            return []
+        instances = watch_item.get("inst", {})
+        triggered: List[TriggeredWatch] = []
+        removals = []
+        for wtype, event in triggered_watch_types(op, is_parent):
+            inst = instances.get(wtype.value)
+            if not inst or not inst.get("sessions"):
+                continue
+            triggered.append(TriggeredWatch(
+                watch_id=inst["id"], path=path, wtype=wtype,
+                event=event, sessions=list(inst["sessions"]),
+            ))
+            removals.append(Remove(f"inst.{wtype.value}"))
+        if not removals:
+            return []
+        yield from self.store.update_item(
+            ctx, SYSTEM_WATCHES, path, updates=removals, payload_kb=0.064,
+        )
+        return triggered

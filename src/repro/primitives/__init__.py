@@ -1,0 +1,11 @@
+"""Serverless synchronization primitives over cloud storage (Section 2.1).
+
+Functions operating in parallel need lock/counter/list primitives that live
+in storage rather than shared memory; this package implements the three the
+paper defines and FaaSKeeper is built on.
+"""
+
+from .atomics import AtomicCounter, AtomicList
+from .locks import LOCK_ATTR, LockHandle, TimedLock
+
+__all__ = ["TimedLock", "LockHandle", "LOCK_ATTR", "AtomicCounter", "AtomicList"]

@@ -1,0 +1,144 @@
+"""Timed lock over key-value conditional updates (paper Sections 2.1, 3.3).
+
+The timed lock extends a regular lock with a bounded holding time, like a
+lease: this prevents a crashed function from deadlocking the system.  The
+protocol, exactly as the paper specifies:
+
+* **acquire** — conditional update that sets the lock timestamp iff no
+  timestamp is present *or* the existing one is older than ``max_hold_ms``
+  (an expired holder is overridden);
+* **guarded updates** — every mutation of a locked item carries the
+  condition "the stored timestamp still equals mine", so a holder that lost
+  the lock to expiry cannot accidentally overwrite newer state;
+* **release / commit-unlock** — removes the timestamp, optionally fused
+  with the data update into one atomic conditional write (the follower's
+  step ➃ in Algorithm 1).
+
+Every operation is a single conditional write to a single item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional, Sequence
+
+from ..cloud.context import OpContext
+from ..cloud.errors import ConditionFailed
+from ..cloud.expressions import Attr, Condition, Remove, Set, UpdateAction
+from ..cloud.kvstore import KeyValueStore
+
+__all__ = ["TimedLock", "LockHandle", "LOCK_ATTR"]
+
+#: Attribute path where the lock timestamp lives inside the item.
+LOCK_ATTR = "lock"
+
+
+@dataclass(frozen=True)
+class LockHandle:
+    """Proof of acquisition: the timestamp written by the holder."""
+
+    key: str
+    timestamp: float
+    item: Optional[Dict[str, Any]]  # item image at acquisition (old data)
+
+
+class TimedLock:
+    """A timed (leased) lock on one key-value item."""
+
+    def __init__(
+        self,
+        store: KeyValueStore,
+        table: str,
+        max_hold_ms: float = 2_000.0,
+    ) -> None:
+        self.store = store
+        self.table = table
+        self.max_hold_ms = max_hold_ms
+
+    # ------------------------------------------------------------ protocol
+    def _free_condition(self, now: float) -> Condition:
+        held = Attr(f"{LOCK_ATTR}.ts")
+        return held.not_exists() | (held <= now - self.max_hold_ms)
+
+    def _held_by(self, timestamp: float) -> Condition:
+        return Attr(f"{LOCK_ATTR}.ts") == timestamp
+
+    def acquire(
+        self, ctx: OpContext, key: str
+    ) -> Generator[Any, Any, Optional[LockHandle]]:
+        """Try to acquire; returns a handle or ``None`` when held by another.
+
+        The handle carries the item image observed at acquisition — the
+        ``oldData`` of Algorithm 1 step ➀.
+        """
+        now = self.store.env.now
+        try:
+            new_image = yield from self.store.update_item(
+                ctx,
+                self.table,
+                key,
+                updates=[Set(f"{LOCK_ATTR}.ts", now)],
+                condition=self._free_condition(now),
+            )
+        except ConditionFailed:
+            return None
+        return LockHandle(key=key, timestamp=now, item=new_image)
+
+    def release(self, ctx: OpContext, handle: LockHandle) -> Generator[Any, Any, bool]:
+        """Remove the timestamp iff we still hold the lock."""
+        try:
+            yield from self.store.update_item(
+                ctx,
+                self.table,
+                handle.key,
+                updates=[Remove(LOCK_ATTR)],
+                condition=self._held_by(handle.timestamp),
+            )
+        except ConditionFailed:
+            return False
+        return True
+
+    def guarded_update(
+        self,
+        ctx: OpContext,
+        handle: LockHandle,
+        updates: Sequence[UpdateAction],
+        extra_condition: Optional[Condition] = None,
+    ) -> Generator[Any, Any, Optional[Dict[str, Any]]]:
+        """Apply updates iff the lock is still ours; keeps the lock held.
+
+        Returns the new image, or ``None`` when the lease was lost.
+        """
+        condition = self._held_by(handle.timestamp)
+        if extra_condition is not None:
+            condition = condition & extra_condition
+        try:
+            return (yield from self.store.update_item(
+                ctx, self.table, handle.key, updates=updates, condition=condition,
+            ))
+        except ConditionFailed:
+            return None
+
+    def commit_unlock(
+        self,
+        ctx: OpContext,
+        handle: LockHandle,
+        updates: Sequence[UpdateAction],
+        extra_condition: Optional[Condition] = None,
+    ) -> Generator[Any, Any, Optional[Dict[str, Any]]]:
+        """Atomically apply updates *and* release the lock (step ➃).
+
+        The commit succeeds only while the lease is still valid; an expired
+        lease makes this a no-op returning ``None``, so a stalled function
+        cannot clobber a newer holder's work.
+        """
+        all_updates = list(updates) + [Remove(LOCK_ATTR)]
+        condition = self._held_by(handle.timestamp)
+        if extra_condition is not None:
+            condition = condition & extra_condition
+        try:
+            return (yield from self.store.update_item(
+                ctx, self.table, handle.key, updates=all_updates, condition=condition,
+            ))
+        except ConditionFailed:
+            return None

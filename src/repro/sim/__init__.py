@@ -1,0 +1,31 @@
+"""Deterministic discrete-event simulation kernel (SimPy-style)."""
+
+from .kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Resource, Store, TokenBucketLimiter
+from .rng import RngRegistry, lognormal_from_percentiles, percentile
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Resource",
+    "Store",
+    "TokenBucketLimiter",
+    "RngRegistry",
+    "lognormal_from_percentiles",
+    "percentile",
+]

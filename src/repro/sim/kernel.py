@@ -1,0 +1,418 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based event loop in the style of SimPy.
+Every simulated cloud service in :mod:`repro.cloud` is built as processes on
+this kernel, which gives the reproduction three properties the paper's
+experiments need:
+
+* **determinism** — runs are reproducible from a single seed, so benchmark
+  tables are stable across machines;
+* **virtual time** — latency models advance a virtual clock instead of
+  sleeping, so a multi-hour cloud experiment executes in milliseconds;
+* **causal ordering** — FIFO queues, single-instance function concurrency and
+  lock contention interleave exactly as scheduled, making the consistency
+  properties (Z1-Z4) testable.
+
+The public surface mirrors SimPy closely (``Environment``, ``Process``,
+``Timeout``, ``AnyOf``/``AllOf``) so the simulation code reads like standard
+process-interaction models.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (negative delays, double triggers...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+# Event priorities: URGENT events (process resumptions) run before NORMAL
+# events scheduled at the same instant, matching SimPy's semantics and keeping
+# wakeup ordering independent of heap tie-breaking.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A condition that may be triggered once, at a simulated instant.
+
+    Processes wait on events by ``yield``-ing them.  An event carries a value
+    (delivered as the result of the ``yield``) and an *ok* flag; failed events
+    re-raise their value inside the waiting process.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    _PENDING = object()
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok = True
+        self._scheduled = False
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired callbacks)."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is Event._PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.env._schedule(self, priority=URGENT)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will see ``exception`` raised."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._value = exception
+        self._ok = False
+        self.env._schedule(self, priority=URGENT)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Chain trigger: adopt the outcome of another (triggered) event."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def defused(self) -> None:
+        """Mark a failed event as handled so the kernel does not re-raise."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self._value = value
+        self._ok = True
+        env._schedule(self, priority=NORMAL, delay=delay)
+
+
+class Initialize(Event):
+    """Internal: starts a freshly created process at the current instant."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._value = None
+        self._ok = True
+        env._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """Wraps a generator; the process event triggers when the generator ends.
+
+    The generator yields :class:`Event` instances; each yield suspends the
+    process until the event triggers.  The event's value becomes the result
+    of the ``yield`` expression, and failed events raise inside the generator.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.triggered:
+            raise SimulationError(f"{self} has terminated and cannot be interrupted")
+        if self._target is not None and self._target.callbacks is not None:
+            # Unsubscribe from the event the process was waiting on, so its
+            # later firing does not resume a generator that has moved on.
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, priority=URGENT)
+
+    # -- generator driving --------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_ev = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_ev = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                self.env._schedule(self, priority=URGENT)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, priority=URGENT)
+                break
+
+            if not isinstance(next_ev, Event):
+                # Be strict: yielding a non-event is always a programming bug.
+                exc = SimulationError(
+                    f"process {self.name!r} yielded non-event {next_ev!r}"
+                )
+                event = Event(self.env)
+                event._ok = False
+                event._value = exc
+                continue
+
+            if next_ev.callbacks is not None:
+                # Event still pending: subscribe and suspend.
+                next_ev.callbacks.append(self._resume)
+                self._target = next_ev
+                break
+            # Event already processed: loop immediately with its outcome.
+            event = next_ev
+
+        self.env._active_process = None
+
+
+class ConditionValue(dict):
+    """Mapping of event -> value for fired condition sub-events."""
+
+
+class Condition(Event):
+    """Base for :class:`AnyOf` / :class:`AllOf` composite events."""
+
+    __slots__ = ("_events", "_fired", "_need")
+
+    def __init__(self, env: "Environment", events: Iterable[Event], need_all: bool) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._fired: list[Event] = []
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        self._need = len(self._events) if need_all else min(1, len(self._events))
+        if self._need == 0:
+            self.succeed(ConditionValue())
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._fired.append(event)
+        if len(self._fired) >= self._need:
+            value = ConditionValue()
+            # Preserve the original event order among fired sub-events.
+            fired = set(map(id, self._fired))
+            for ev in self._events:
+                if id(ev) in fired:
+                    value[ev] = ev._value
+            self.succeed(value)
+
+
+class AnyOf(Condition):
+    """Triggers when any sub-event triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, events, need_all=False)
+
+
+class AllOf(Condition):
+    """Triggers when all sub-events have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, events, need_all=True)
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (milliseconds by convention in repro)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: Optional[str] = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        event._scheduled = False
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it to the caller of run()/step().
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the given time or event; with no argument, run dry.
+
+        Returns the event's value when ``until`` is an event.
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time} lies in the past (now={self._now})"
+                )
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+            nxt = self.peek()
+            if nxt == float("inf"):
+                if stop_event is not None:
+                    raise SimulationError(
+                        "simulation ran dry before the awaited event triggered"
+                    )
+                if stop_time != float("inf"):
+                    # Idle until the requested time: the clock still advances.
+                    self._now = stop_time
+                return None
+            if nxt > stop_time:
+                self._now = stop_time
+                return None
+            self.step()

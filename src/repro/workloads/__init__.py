@@ -1,0 +1,17 @@
+"""Workload generators: read/write mixes, YCSB, the HBase coordination trace."""
+
+from .hbase import HBaseSimulation, HBaseZnodeLayout, UtilizationSample
+from .mixes import MixSpec, NODE_SIZES_FIG9, NODE_SIZES_FIG11, generate_mix
+from .ycsb import CORE_WORKLOADS, YcsbWorkload
+
+__all__ = [
+    "MixSpec",
+    "generate_mix",
+    "NODE_SIZES_FIG9",
+    "NODE_SIZES_FIG11",
+    "YcsbWorkload",
+    "CORE_WORKLOADS",
+    "HBaseSimulation",
+    "HBaseZnodeLayout",
+    "UtilizationSample",
+]

@@ -1,0 +1,178 @@
+"""HBase-on-ZooKeeper coordination workload (Section 5.1, Figure 5).
+
+The paper profiles a real HBase cluster under YCSB and finds that while
+HBase serves thousands of data requests per second, ZooKeeper sees fewer
+than a thousand requests in half an hour — it holds cluster state (one
+znode per RegionServer, master election, meta location), not data.
+
+This module replays that behaviour synthetically:
+
+* at deployment, HBase creates its znode tree (29 nodes in the paper's
+  measurement; median size 0 bytes, mean 46, max 320 for the RegionServer
+  entries);
+* during YCSB phases, data requests go to the (modeled) RegionServers and
+  only rare coordination events touch ZooKeeper: periodic master sanity
+  checks, region state transitions on workload-phase changes;
+* ZooKeeper's VM utilization stays in the paper's 0.5-1 % band while the
+  HBase request counter climbs by thousands per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cloud.cloud import Cloud
+from ..zookeeper import ZooKeeperDeployment, deploy_zookeeper
+from .ycsb import CORE_WORKLOADS, YcsbWorkload
+
+__all__ = ["HBaseSimulation", "HBaseZnodeLayout", "UtilizationSample"]
+
+#: Baseline CPU/memory fraction of the ZooKeeper JVM when idle.
+IDLE_CPU_FRACTION = 0.004
+IDLE_MEM_FRACTION = 0.055
+
+
+@dataclass(frozen=True)
+class HBaseZnodeLayout:
+    """The znode tree HBase keeps in ZooKeeper."""
+
+    n_regionservers: int = 3
+
+    def nodes(self) -> List[Tuple[str, bytes]]:
+        """(path, data) pairs; sizes follow the paper's measurement."""
+        base = [
+            ("/hbase", b""),
+            ("/hbase/master", b"m" * 120),
+            ("/hbase/meta-region-server", b"r" * 100),
+            ("/hbase/hbaseid", b"i" * 67),
+            ("/hbase/table", b""),
+            ("/hbase/rs", b""),
+            ("/hbase/splitWAL", b""),
+            ("/hbase/backup-masters", b""),
+            ("/hbase/flush-table-proc", b""),
+            ("/hbase/online-snapshot", b""),
+            ("/hbase/master-maintenance", b""),
+            ("/hbase/replication", b""),
+            ("/hbase/replication/peers", b""),
+            ("/hbase/replication/rs", b""),
+            ("/hbase/draining", b""),
+            ("/hbase/namespace", b""),
+            ("/hbase/namespace/default", b"d" * 20),
+            ("/hbase/namespace/hbase", b"h" * 20),
+            ("/hbase/balancer", b""),
+            ("/hbase/normalizer", b"n" * 10),
+            ("/hbase/switch", b""),
+            ("/hbase/switch/split", b"s" * 10),
+            ("/hbase/switch/merge", b"s" * 10),
+            ("/hbase/snapshot-cleanup", b"c" * 10),
+            ("/hbase/running", b"y" * 16),
+            ("/hbase/table/hbase:meta", b"t" * 31),
+        ]
+        for i in range(self.n_regionservers):
+            # the largest nodes: one per RegionServer (~320 bytes)
+            base.append((f"/hbase/rs/server{i}", b"x" * 320))
+        return base
+
+
+@dataclass
+class UtilizationSample:
+    time_ms: float
+    cpu: float
+    memory: float
+    hbase_requests: int
+    zk_reads: int
+    zk_writes: int
+
+
+class HBaseSimulation:
+    """Replays YCSB phases against HBase + ZooKeeper."""
+
+    def __init__(self, cloud: Cloud, n_regionservers: int = 3,
+                 zk: Optional[ZooKeeperDeployment] = None) -> None:
+        self.cloud = cloud
+        self.layout = HBaseZnodeLayout(n_regionservers)
+        self.zk = zk or deploy_zookeeper(cloud, n_servers=3, vm_type="t3.medium")
+        self.client = self.zk.connect(server_index=0)
+        self.rng = cloud.rng.stream("hbase")
+        self.hbase_requests = 0
+        self.zk_reads = 0
+        self.zk_writes = 0
+        self.samples: List[UtilizationSample] = []
+        self._deploy_tree()
+
+    # ------------------------------------------------------------ setup
+    def _deploy_tree(self) -> None:
+        created = set()
+        for path, data in self.layout.nodes():
+            parts = path.strip("/").split("/")
+            for depth in range(1, len(parts)):
+                prefix = "/" + "/".join(parts[:depth])
+                if prefix not in created and self.client.exists(prefix) is None:
+                    self.client.create(prefix, b"")
+                    created.add(prefix)
+                    self.zk_writes += 1
+            if path not in created:
+                self.client.create(path, data)
+                created.add(path)
+                self.zk_writes += 1
+
+    # ------------------------------------------------------------ stats
+    def node_size_stats(self) -> Dict[str, float]:
+        sizes = sorted(len(d) for _p, d in self.layout.nodes())
+        return {
+            "count": len(sizes),
+            "median": float(sizes[len(sizes) // 2]),
+            "mean": sum(sizes) / len(sizes),
+            "max": float(max(sizes)),
+        }
+
+    # ------------------------------------------------------------ phases
+    def run_phase(self, workload: YcsbWorkload, duration_ms: float = 300_000.0,
+                  hbase_rate_per_s: float = 2000.0,
+                  sample_every_ms: float = 10_000.0) -> None:
+        """One YCSB phase: heavy HBase traffic, almost no ZooKeeper traffic."""
+        end = self.cloud.now + duration_ms
+        # Phase transition: the master checks region states (a few reads,
+        # occasionally a region move -> one write).
+        for _ in range(3):
+            self.client.get_children("/hbase/rs")
+            self.zk_reads += 1
+        if workload.insert > 0 or workload.update >= 0.5:
+            self.client.set_data("/hbase/meta-region-server",
+                                 b"r" * 100)
+            self.zk_writes += 1
+        while self.cloud.now < end:
+            window = min(sample_every_ms, end - self.cloud.now)
+            # HBase data path: served by RegionServers, not ZooKeeper.
+            self.hbase_requests += int(hbase_rate_per_s * window / 1000.0)
+            # Rare coordination reads (liveness checks by master/clients).
+            if self.rng.random() < 0.25:
+                self.client.exists("/hbase/running")
+                self.zk_reads += 1
+            self.cloud.run(until=min(end, self.cloud.now + window))
+            self._sample()
+
+    def _sample(self) -> None:
+        # CPU: busy fraction of the serving ZooKeeper VM over the sample
+        # window plus the JVM idle floor; memory: resident set fraction.
+        server = self.zk.ensemble.servers[0]
+        window = 10_000.0
+        busy = getattr(self, "_last_busy", 0.0)
+        cpu = IDLE_CPU_FRACTION + max(0.0, server.busy_ms - busy) / window
+        self._last_busy = server.busy_ms
+        mem = IDLE_MEM_FRACTION + 0.00001 * len(server.tree)
+        self.samples.append(UtilizationSample(
+            time_ms=self.cloud.now,
+            cpu=min(1.0, cpu),
+            memory=mem,
+            hbase_requests=self.hbase_requests,
+            zk_reads=self.zk_reads,
+            zk_writes=self.zk_writes,
+        ))
+
+    def run_standard_experiment(self, phase_ms: float = 300_000.0,
+                                workloads=None) -> None:
+        """The paper's setup: all core workloads, five minutes each."""
+        for workload in (workloads or CORE_WORKLOADS):
+            self.run_phase(workload, duration_ms=phase_ms)

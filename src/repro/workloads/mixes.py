@@ -1,0 +1,41 @@
+"""Read/write workload mixes for the comparison benchmarks."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+__all__ = ["MixSpec", "generate_mix", "NODE_SIZES_FIG9", "NODE_SIZES_FIG11"]
+
+#: Node sizes swept by Figure 9 (bytes).
+NODE_SIZES_FIG9 = (4, 1024, 64 * 1024, 128 * 1024, 250 * 1024)
+#: Node sizes swept by Figure 11 (bytes) — the typical ZooKeeper range.
+NODE_SIZES_FIG11 = (4, 128, 256, 512, 1024, 2048, 4096)
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """A randomized operation mix over a fixed set of node paths."""
+
+    n_ops: int
+    read_fraction: float
+    n_nodes: int = 8
+    value_bytes: int = 1024
+    seed: int = 0
+
+    def paths(self) -> List[str]:
+        return [f"/mix/n{i}" for i in range(self.n_nodes)]
+
+
+def generate_mix(spec: MixSpec) -> Iterator[Tuple[str, str, bytes]]:
+    """Yields (op, path, data) tuples: op in {"read", "write"}."""
+    rng = random.Random(spec.seed)
+    paths = spec.paths()
+    for i in range(spec.n_ops):
+        path = paths[rng.randrange(len(paths))]
+        if rng.random() < spec.read_fraction:
+            yield "read", path, b""
+        else:
+            yield "write", path, bytes(rng.getrandbits(8) for _ in range(8)) \
+                + b"x" * max(0, spec.value_bytes - 8)

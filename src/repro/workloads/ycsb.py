@@ -1,0 +1,41 @@
+"""YCSB core workload definitions (Cooper et al., SoCC'10).
+
+The paper's Section 5.1 drives HBase with the standard YCSB workloads to
+show how little a production system actually uses ZooKeeper.  We model the
+six core workloads by their official read/update/insert/scan mixes; the
+HBase simulation (:mod:`repro.workloads.hbase`) replays them phase by
+phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["YcsbWorkload", "CORE_WORKLOADS"]
+
+
+@dataclass(frozen=True)
+class YcsbWorkload:
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    read_modify_write: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.read + self.update + self.insert + self.scan \
+            + self.read_modify_write
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"workload {self.name}: mix sums to {total}")
+
+
+CORE_WORKLOADS: List[YcsbWorkload] = [
+    YcsbWorkload("A", read=0.5, update=0.5),
+    YcsbWorkload("B", read=0.95, update=0.05),
+    YcsbWorkload("C", read=1.0),
+    YcsbWorkload("D", read=0.95, insert=0.05),
+    YcsbWorkload("E", scan=0.95, insert=0.05),
+    YcsbWorkload("F", read=0.5, read_modify_write=0.5),
+]

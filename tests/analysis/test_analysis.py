@@ -1,0 +1,74 @@
+"""Tests for stats summaries and table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    crossover,
+    render_heatmap,
+    render_table,
+    summarize,
+    who_wins,
+)
+from repro.sim.rng import percentile
+
+
+def test_summarize_basic():
+    s = summarize(list(range(1, 101)))
+    assert s.n == 100
+    assert s.min == 1 and s.max == 100
+    assert s.p50 == pytest.approx(50.5)
+    assert s.p99 == pytest.approx(99.01)
+    assert s.row() == [1, 50.5, 90.1, 95.05, 99.01, 100]
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_percentile_single_sample():
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_percentile_interpolation():
+    assert percentile([0.0, 10.0], 50) == 5.0
+    assert percentile([0.0, 10.0], 25) == 2.5
+
+
+def test_crossover_found():
+    xs = [0, 1, 2, 3]
+    a = [0, 1, 2, 3]
+    b = [2, 2, 2, 2]
+    assert crossover(xs, a, b) == pytest.approx(2.0)
+
+
+def test_crossover_none_when_no_crossing():
+    assert crossover([0, 1], [0, 1], [5, 6]) is None
+
+
+def test_who_wins():
+    assert who_wins({"fk": 3.0, "zk": 1.0}) == "zk"
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "value"], [["a", 1.5], ["bb", 22.25]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    assert "22.25" in lines[4]
+
+
+def test_render_heatmap_includes_labels():
+    out = render_heatmap(["r1", "r2"], ["c1", "c2"],
+                         [[1.0, 2.0], [3.0, 4.0]])
+    assert "r1" in out and "c2" in out and "4.00" in out
+
+
+def test_fmt_small_and_large():
+    from repro.analysis import fmt
+    assert fmt(1.25e-6) == "1.25e-06"
+    assert fmt(12345.0) == "12,345"
+    assert fmt(0) == "0"
+    assert fmt("x") == "x"

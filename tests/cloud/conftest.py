@@ -1,0 +1,15 @@
+"""Shared fixtures for cloud-layer tests."""
+
+import pytest
+
+from repro.cloud import Cloud, OpContext
+
+
+@pytest.fixture
+def cloud():
+    return Cloud.aws(seed=1234)
+
+
+@pytest.fixture
+def ctx():
+    return OpContext()

@@ -1,0 +1,156 @@
+"""Unit tests for the condition/update expression engine."""
+
+import pytest
+
+from repro.cloud.expressions import (
+    Add,
+    Always,
+    Attr,
+    ListAppend,
+    ListPopHead,
+    ListRemove,
+    Remove,
+    Set,
+    SetIfNotExists,
+    apply_updates,
+    item_exists,
+    item_size_kb,
+)
+
+
+# ------------------------------------------------------------- conditions
+def test_always_true_on_missing_item():
+    assert Always().evaluate(None)
+
+
+def test_attr_exists():
+    assert Attr("a").exists().evaluate({"a": 1})
+    assert not Attr("a").exists().evaluate({"b": 1})
+    assert not Attr("a").exists().evaluate(None)
+
+
+def test_attr_not_exists():
+    assert Attr("a").not_exists().evaluate({"b": 1})
+    assert Attr("a").not_exists().evaluate(None)
+    assert not Attr("a").not_exists().evaluate({"a": 0})
+
+
+def test_comparisons():
+    item = {"n": 5}
+    assert (Attr("n") == 5).evaluate(item)
+    assert (Attr("n") != 4).evaluate(item)
+    assert (Attr("n") < 6).evaluate(item)
+    assert (Attr("n") <= 5).evaluate(item)
+    assert (Attr("n") > 4).evaluate(item)
+    assert (Attr("n") >= 5).evaluate(item)
+    assert not (Attr("n") > 5).evaluate(item)
+
+
+def test_comparison_on_missing_attr_is_false():
+    assert not (Attr("n") == 0).evaluate({})
+    assert not (Attr("n") < 100).evaluate(None)
+
+
+def test_nested_paths():
+    item = {"lock": {"ts": 42}}
+    assert (Attr("lock.ts") == 42).evaluate(item)
+    assert Attr("lock.ts").exists().evaluate(item)
+    assert not Attr("lock.owner").exists().evaluate(item)
+
+
+def test_boolean_combinators():
+    item = {"a": 1, "b": 2}
+    cond = (Attr("a") == 1) & (Attr("b") == 2)
+    assert cond.evaluate(item)
+    cond = (Attr("a") == 9) | (Attr("b") == 2)
+    assert cond.evaluate(item)
+    assert (~(Attr("a") == 9)).evaluate(item)
+
+
+def test_between_and_contains():
+    item = {"n": 5, "lst": [1, 2, 3]}
+    assert Attr("n").between(1, 5).evaluate(item)
+    assert not Attr("n").between(6, 9).evaluate(item)
+    assert Attr("lst").contains(2).evaluate(item)
+    assert not Attr("lst").contains(99).evaluate(item)
+    assert not Attr("missing").contains(1).evaluate(item)
+
+
+def test_item_exists_condition():
+    assert item_exists().evaluate({})
+    assert not item_exists().evaluate(None)
+
+
+# ------------------------------------------------------------- updates
+def test_set_and_nested_set():
+    item = {}
+    apply_updates(item, [Set("a", 1), Set("b.c", 2)])
+    assert item == {"a": 1, "b": {"c": 2}}
+
+
+def test_set_if_not_exists():
+    item = {"a": 1}
+    apply_updates(item, [SetIfNotExists("a", 99), SetIfNotExists("b", 2)])
+    assert item == {"a": 1, "b": 2}
+
+
+def test_add_creates_and_increments():
+    item = {}
+    apply_updates(item, [Add("cnt", 5)])
+    apply_updates(item, [Add("cnt", -2)])
+    assert item["cnt"] == 3
+
+
+def test_add_non_numeric_raises():
+    with pytest.raises(TypeError):
+        apply_updates({"cnt": "x"}, [Add("cnt", 1)])
+
+
+def test_remove():
+    item = {"a": 1, "b": {"c": 2, "d": 3}}
+    apply_updates(item, [Remove("a"), Remove("b.c"), Remove("missing")])
+    assert item == {"b": {"d": 3}}
+
+
+def test_list_append_creates_list():
+    item = {}
+    apply_updates(item, [ListAppend("w", [1, 2]), ListAppend("w", [3])])
+    assert item["w"] == [1, 2, 3]
+
+
+def test_list_remove_first_occurrences():
+    item = {"w": [1, 2, 1, 3]}
+    apply_updates(item, [ListRemove("w", [1, 3, 99])])
+    assert item["w"] == [2, 1]
+    apply_updates({}, [ListRemove("missing", [1])])  # no-op, no raise
+
+
+def test_list_pop_head():
+    item = {"q": [1, 2, 3]}
+    apply_updates(item, [ListPopHead("q", 2)])
+    assert item["q"] == [3]
+    apply_updates(item, [ListPopHead("q", 5)])
+    assert item["q"] == []
+
+
+def test_update_order_matters():
+    item = {}
+    apply_updates(item, [Set("a", 1), Add("a", 1), Set("a", 10)])
+    assert item["a"] == 10
+
+
+# ------------------------------------------------------------- sizes
+def test_item_size_none_is_zero():
+    assert item_size_kb(None) == 0.0
+
+
+def test_item_size_scales_with_payload():
+    small = item_size_kb({"data": b"x" * 100})
+    large = item_size_kb({"data": b"x" * 100_000})
+    assert small < 0.2
+    assert 95 < large < 100
+
+
+def test_item_size_counts_strings_and_numbers():
+    sz = item_size_kb({"a": 1, "b": "hello", "c": [1.0, 2.0]})
+    assert sz > 0

@@ -1,0 +1,292 @@
+"""Unit tests for the simulated key-value store."""
+
+import pytest
+
+from repro.cloud import (
+    Add,
+    Attr,
+    ConditionFailed,
+    ItemTooLarge,
+    ListAppend,
+    NoSuchTable,
+    Set,
+)
+
+
+def test_put_and_get_roundtrip(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+
+    def flow():
+        yield from kv.put_item(ctx, "t", "k", {"a": 1})
+        item = yield from kv.get_item(ctx, "t", "k")
+        return item
+
+    item = cloud.run_process(flow())
+    assert item == {"a": 1}
+    assert cloud.now > 0  # latency was charged
+
+
+def test_get_missing_returns_none(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+    item = cloud.run_process(kv.get_item(ctx, "t", "nope"))
+    assert item is None
+
+
+def test_no_such_table(cloud, ctx):
+    kv = cloud.kv()
+    with pytest.raises(NoSuchTable):
+        cloud.run_process(kv.get_item(ctx, "missing", "k"))
+
+
+def test_returned_item_is_a_copy(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+
+    def flow():
+        yield from kv.put_item(ctx, "t", "k", {"a": [1]})
+        item = yield from kv.get_item(ctx, "t", "k")
+        item["a"].append(99)  # must not leak into the store
+        again = yield from kv.get_item(ctx, "t", "k")
+        return again
+
+    assert cloud.run_process(flow()) == {"a": [1]}
+
+
+def test_conditional_put_fails(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+
+    def flow():
+        yield from kv.put_item(ctx, "t", "k", {"v": 1})
+        yield from kv.put_item(ctx, "t", "k", {"v": 2},
+                               condition=Attr("v") == 99)
+
+    with pytest.raises(ConditionFailed):
+        cloud.run_process(flow())
+    assert kv.table("t").raw("k") == {"v": 1}
+
+
+def test_update_item_applies_actions(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+
+    def flow():
+        yield from kv.put_item(ctx, "t", "k", {"cnt": 0})
+        new = yield from kv.update_item(ctx, "t", "k",
+                                        [Add("cnt", 5), Set("flag", True)])
+        return new
+
+    new = cloud.run_process(flow())
+    assert new == {"cnt": 5, "flag": True}
+
+
+def test_update_item_creates_item_when_missing(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+    new = cloud.run_process(
+        kv.update_item(cloud.client_ctx(), "t", "fresh", [Add("cnt", 1)])
+    )
+    assert new == {"cnt": 1}
+
+
+def test_update_condition_failure_leaves_item_untouched(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+
+    def flow():
+        yield from kv.put_item(ctx, "t", "k", {"v": 1})
+        try:
+            yield from kv.update_item(ctx, "t", "k", [Set("v", 2)],
+                                      condition=Attr("v") == 42)
+        except ConditionFailed as exc:
+            return exc.item
+
+    old = cloud.run_process(flow())
+    assert old == {"v": 1}
+    assert kv.table("t").raw("k") == {"v": 1}
+
+
+def test_item_size_limit_enforced(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+    big = {"data": b"x" * (401 * 1024)}
+    with pytest.raises(ItemTooLarge):
+        cloud.run_process(kv.put_item(ctx, "t", "k", big))
+
+
+def test_update_growing_past_limit_rejected(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+
+    def flow():
+        yield from kv.put_item(ctx, "t", "k", {"data": b"x" * (399 * 1024)})
+        yield from kv.update_item(ctx, "t", "k",
+                                  [Set("more", b"y" * (2 * 1024))])
+
+    with pytest.raises(ItemTooLarge):
+        cloud.run_process(flow())
+
+
+def test_delete_item(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+
+    def flow():
+        yield from kv.put_item(ctx, "t", "k", {"v": 1})
+        yield from kv.delete_item(ctx, "t", "k")
+        return (yield from kv.get_item(ctx, "t", "k"))
+
+    assert cloud.run_process(flow()) is None
+
+
+def test_delete_conditional_failure(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+
+    def flow():
+        yield from kv.put_item(ctx, "t", "k", {"v": 1})
+        yield from kv.delete_item(ctx, "t", "k", condition=Attr("v") == 9)
+
+    with pytest.raises(ConditionFailed):
+        cloud.run_process(flow())
+    assert kv.table("t").raw("k") == {"v": 1}
+
+
+def test_scan_returns_all_items(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+
+    def flow():
+        for i in range(5):
+            yield from kv.put_item(ctx, "t", f"k{i}", {"i": i})
+        return (yield from kv.scan(ctx, "t"))
+
+    items = cloud.run_process(flow())
+    assert len(items) == 5
+    assert items["k3"] == {"i": 3}
+
+
+def test_strong_read_sees_latest_write(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+
+    def flow():
+        yield from kv.put_item(ctx, "t", "k", {"v": 1})
+        yield from kv.put_item(ctx, "t", "k", {"v": 2})
+        return (yield from kv.get_item(ctx, "t", "k", consistent=True))
+
+    assert cloud.run_process(flow()) == {"v": 2}
+
+
+def test_eventual_read_can_be_stale(cloud, ctx):
+    """At least one eventually-consistent read right after a write must
+    return the previous version (this is why FaaSKeeper's system storage
+    requires strong reads, Section 3.3)."""
+    kv = cloud.kv()
+    kv.create_table("t")
+
+    def flow():
+        yield from kv.put_item(ctx, "t", "k", {"v": 1})
+        yield from kv.put_item(ctx, "t", "k", {"v": 2})
+        stale = 0
+        for _ in range(60):
+            item = yield from kv.get_item(ctx, "t", "k", consistent=False)
+            if item == {"v": 1}:
+                stale += 1
+        return stale
+
+    assert cloud.run_process(flow()) > 0
+
+
+def test_costs_metered_per_kb(cloud, ctx):
+    kv = cloud.kv()
+    kv.create_table("t")
+
+    def flow():
+        yield from kv.put_item(ctx, "t", "k", {"data": b"x" * 10 * 1024})
+
+    cloud.run_process(flow())
+    # 10 kB write = ~11 write units at $1.25e-6 (attribute overhead rounds up)
+    total = cloud.meter.total
+    assert 10 * 1.25e-6 <= total <= 12 * 1.25e-6
+
+
+def test_write_latency_grows_with_size(cloud):
+    kv = cloud.kv()
+    kv.create_table("t")
+    ctx = cloud.client_ctx()
+
+    def timed_write(size):
+        def flow():
+            t0 = cloud.now
+            yield from kv.put_item(ctx, "t", "k", {"data": b"x" * size})
+            return cloud.now - t0
+        return cloud.run_process(flow())
+
+    small = min(timed_write(1024) for _ in range(5))
+    large = min(timed_write(64 * 1024) for _ in range(5))
+    assert large > small * 5  # ~1 ms/kB bandwidth term (Table 6a)
+
+
+def test_conditional_update_slower_than_regular(cloud):
+    """Table 6a: the timed-lock path adds ~2.5 ms to the median write."""
+    kv = cloud.kv()
+    kv.create_table("t")
+    ctx = cloud.client_ctx()
+
+    def run_many(conditional):
+        def flow():
+            yield from kv.put_item(ctx, "t", "k", {"v": 0})
+            times = []
+            for _ in range(80):
+                t0 = cloud.now
+                cond = (Attr("v") >= 0) if conditional else None
+                yield from kv.update_item(ctx, "t", "k", [Set("v", 1)],
+                                          condition=cond)
+                times.append(cloud.now - t0)
+            times.sort()
+            return times[len(times) // 2]
+        return cloud.run_process(flow())
+
+    regular = run_many(False)
+    locked = run_many(True)
+    assert 1.5 < locked - regular < 4.5
+
+
+def test_stream_records_emitted_in_order(cloud, ctx):
+    kv = cloud.kv()
+    table = kv.create_table("t")
+    records = []
+    table.stream_listeners.append(records.append)
+
+    def flow():
+        yield from kv.put_item(ctx, "t", "a", {"v": 1})
+        yield from kv.update_item(ctx, "t", "a", [Set("v", 2)])
+        yield from kv.delete_item(ctx, "t", "a")
+
+    cloud.run_process(flow())
+    assert [r.sequence for r in records] == [1, 2, 3]
+    assert records[0].old_image is None and records[0].new_image == {"v": 1}
+    assert records[1].old_image == {"v": 1} and records[1].new_image == {"v": 2}
+    assert records[2].new_image is None
+
+
+def test_cross_region_read_penalty(cloud):
+    kv = cloud.kv()
+    kv.create_table("t")
+    local = cloud.client_ctx()
+    remote = cloud.client_ctx(region="eu-west-1")
+
+    def timed(ctx_):
+        def flow():
+            t0 = cloud.now
+            yield from kv.get_item(ctx_, "t", "k")
+            return cloud.now - t0
+        return cloud.run_process(flow())
+
+    cloud.run_process(kv.put_item(local, "t", "k", {"v": 1}))
+    near = min(timed(local) for _ in range(5))
+    far = min(timed(remote) for _ in range(5))
+    assert far > near + 100  # Figure 4b inter-region penalty

@@ -1,0 +1,143 @@
+"""Cost-model tests: the paper's printed dollar figures must reproduce."""
+
+import pytest
+
+from repro.costmodel import (
+    AWS_COST_PARAMS,
+    BreakevenModel,
+    MonitoringCostModel,
+    StorageCostModel,
+    q_sqs,
+    r_dd,
+    r_s3,
+    w_dd,
+    w_s3,
+)
+
+
+# ------------------------------------------------------------- Table 4
+def test_table4_parameters():
+    assert w_s3(1) == 5e-6
+    assert r_s3(1) == 4e-7
+    assert w_dd(1) == 1.25e-6
+    assert w_dd(4.5) == 5 * 1.25e-6
+    assert r_dd(1) == 0.25e-6
+    assert r_dd(4) == 0.25e-6
+    assert r_dd(5) == 2 * 0.25e-6
+    assert q_sqs(1) == 0.5e-6
+    assert q_sqs(65) == 1e-6
+
+
+# --------------------------------------------------- Section 5.3.4 dollars
+def test_100k_reads_cost_4_cents():
+    """"A workload of 100,000 read operations costs $0.04."""
+    cost = 100_000 * AWS_COST_PARAMS.read_cost(1.0, hybrid=False)
+    assert cost == pytest.approx(0.04)
+
+
+def test_100k_writes_cost_112_standard():
+    """"A workload of 100,000 write operations costs $1.12."""
+    cost = 100_000 * AWS_COST_PARAMS.write_cost(1.0, hybrid=False)
+    assert cost == pytest.approx(1.12, rel=0.01)
+
+
+def test_100k_writes_cost_072_hybrid():
+    """"There, a workload of 100,000 write operations costs $0.72."""
+    cost = 100_000 * AWS_COST_PARAMS.write_cost(1.0, hybrid=True)
+    assert cost == pytest.approx(0.72, rel=0.01)
+
+
+def test_zookeeper_daily_costs():
+    assert AWS_COST_PARAMS.zookeeper_daily(3, "t3.small") == pytest.approx(1.5)
+    assert AWS_COST_PARAMS.zookeeper_daily(3, "t3.medium") == pytest.approx(3.0)
+    assert AWS_COST_PARAMS.zookeeper_daily(9, "t3.large") == pytest.approx(18.0)
+
+
+# ------------------------------------------------------------- Figure 14
+@pytest.mark.parametrize("read_frac,hybrid,expected_first_row", [
+    # (fraction, hybrid?, ratios for 3 x t3.small across request counts)
+    (1.0, False, [37.44, 7.49, 3.74, 1.87, 0.75]),
+    (1.0, True, [59.90, 11.98, 5.99, 3.00, 1.20]),
+    (0.9, False, [10.14, 2.03, 1.01, 0.51, 0.20]),
+    (0.9, True, [15.89, 3.18, 1.59, 0.79, 0.32]),
+    (0.8, False, [5.86, 1.17, 0.59, 0.29, 0.12]),
+    (0.8, True, [9.16, 1.83, 0.92, 0.46, 0.18]),
+])
+def test_figure14_first_rows_match_paper(read_frac, hybrid, expected_first_row):
+    model = BreakevenModel()
+    matrix = model.matrix(read_frac, hybrid)
+    got = matrix[0]  # 3 x t3.small row
+    for g, e in zip(got, expected_first_row):
+        assert g == pytest.approx(e, rel=0.03)
+
+
+def test_figure14_rows_scale_with_deployment():
+    model = BreakevenModel()
+    matrix = model.matrix(1.0, False)
+    # 9 x t3.small = 3x the 3 x t3.small ratios; t3.medium = 2x t3.small
+    assert matrix[3][0] == pytest.approx(3 * matrix[0][0])
+    assert matrix[1][0] == pytest.approx(2 * matrix[0][0])
+    assert matrix[5][0] == pytest.approx(12 * matrix[0][0])
+
+
+def test_breakeven_points_match_paper():
+    """"between 1 and 3.75 million requests daily" (standard) and "grows to
+    5.99 million" (hybrid) for the smallest deployment at 100% reads."""
+    model = BreakevenModel()
+    std = model.breakeven_requests(1.0, hybrid=False)
+    hyb = model.breakeven_requests(1.0, hybrid=True)
+    assert std == pytest.approx(3.75e6, rel=0.02)
+    assert hyb == pytest.approx(5.99e6, rel=0.02)
+    # 80% reads standard: ratio 1.17 at 500K/day -> crossover near 585K
+    low = model.breakeven_requests(0.8, hybrid=False)
+    assert 5.5e5 < low < 6.2e5
+
+
+def test_faaskeeper_cheaper_at_low_rates_everywhere():
+    model = BreakevenModel()
+    for frac in (1.0, 0.9, 0.8):
+        for hybrid in (False, True):
+            assert model.ratio(100_000, frac, hybrid, 3, "t3.small") > 1
+
+
+# ------------------------------------------------------------- Figure 4a
+def test_storage_model_headline_ratios():
+    m = StorageCostModel()
+    assert m.s3_write_read_ratio() == pytest.approx(12.5)
+    assert m.kv_vs_s3_large_data(128.0) == pytest.approx(20.0)
+    assert m.s3_vs_ebs_retention() == pytest.approx(3.478, rel=0.01)
+    assert m.dynamodb_vs_ebs_retention() == pytest.approx(3.125)
+
+
+def test_storage_sweep_s3_writes_too_expensive_for_frequent_ops():
+    """Figure 4a right: at high op counts S3 writes dominate everything."""
+    m = StorageCostModel()
+    sweep = m.ops_sweep([10, 10**3, 10**5, 10**7])
+    assert sweep["s3_write"][-1] > sweep["dynamodb_write"][-1]
+    assert sweep["s3_write"][-1] > 10 * sweep["s3_read"][-1]
+
+
+def test_storage_sweep_kv_more_expensive_on_large_items():
+    m = StorageCostModel()
+    s3 = m.monthly_cost("s3", "write", 1.0, ops=10**6, op_kb=64)
+    dd = m.monthly_cost("dynamodb", "write", 1.0, ops=10**6, op_kb=64)
+    assert dd > 4 * s3
+
+
+# ------------------------------------------------------------- Figure 13
+def test_monitoring_cost_fraction_of_vm():
+    m = MonitoringCostModel()
+    cost = m.daily_cost(memory_mb=512, exec_time_ms=100, n_clients=16)
+    assert cost < 0.05 * 0.5  # a small fraction of a t3.small day
+    assert m.vm_price_fraction(512, 100, 16) < 0.05
+
+
+def test_monitoring_allocation_under_0_2_percent():
+    m = MonitoringCostModel()
+    assert m.daily_allocation_fraction(100.0) < 0.002
+
+
+def test_monitoring_cost_grows_with_memory():
+    m = MonitoringCostModel()
+    assert m.daily_cost(2048, 80, 16) > m.daily_cost(128, 300, 16) * 0.5
+    assert m.daily_cost(2048, 100, 16) > m.daily_cost(128, 100, 16)

@@ -1,0 +1,27 @@
+"""Fixtures for FaaSKeeper tests."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.faaskeeper import FaaSKeeperConfig, FaaSKeeperService
+
+
+@pytest.fixture
+def cloud():
+    return Cloud.aws(seed=2024)
+
+
+@pytest.fixture
+def service(cloud):
+    return FaaSKeeperService.deploy(cloud)
+
+
+@pytest.fixture
+def client(service):
+    return service.connect()
+
+
+def make_service(seed=2024, **config_kwargs):
+    cloud = Cloud.aws(seed=seed)
+    service = FaaSKeeperService.deploy(cloud, FaaSKeeperConfig(**config_kwargs))
+    return cloud, service

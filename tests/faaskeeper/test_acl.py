@@ -1,0 +1,93 @@
+"""ACL tests (Section 4.4): write permissions enforced by functions, read
+permissions at the storage boundary."""
+
+import pytest
+
+from repro.faaskeeper import AccessDeniedError
+from repro.faaskeeper.model import OPEN_ACL, acl_allows
+from .conftest import make_service
+
+
+def test_acl_allows_semantics():
+    assert acl_allows(None, "write", "s1")            # no ACL = open
+    assert acl_allows(OPEN_ACL, "read", "anyone")
+    acl = {"write": ["s1"], "read": ["world"]}
+    assert acl_allows(acl, "write", "s1")
+    assert not acl_allows(acl, "write", "s2")
+    assert acl_allows(acl, "read", "s2")
+    assert not acl_allows(acl, "delete", "s2")        # unlisted perm = denied
+
+
+def test_owner_only_write():
+    cloud, service = make_service(seed=300)
+    owner = service.connect()
+    other = service.connect()
+    acl = {"read": ["world"], "write": [owner.session_id],
+           "delete": [owner.session_id], "create": ["world"]}
+    owner.create("/protected", b"v0", acl=acl)
+
+    owner.set_data("/protected", b"v1")  # owner may write
+    with pytest.raises(AccessDeniedError):
+        other.set_data("/protected", b"x")
+    data, _ = other.get_data("/protected")  # world-readable
+    assert data == b"v1"
+
+
+def test_read_denied_at_storage():
+    cloud, service = make_service(seed=301)
+    owner = service.connect()
+    other = service.connect()
+    acl = {"read": [owner.session_id], "write": [owner.session_id],
+           "delete": [owner.session_id], "create": []}
+    owner.create("/secret", b"classified", acl=acl)
+    assert owner.get_data("/secret")[0] == b"classified"
+    with pytest.raises(AccessDeniedError):
+        other.get_data("/secret")
+    with pytest.raises(AccessDeniedError):
+        other.exists("/secret")
+
+
+def test_delete_permission():
+    cloud, service = make_service(seed=302)
+    owner = service.connect()
+    other = service.connect()
+    acl = {"read": ["world"], "write": ["world"],
+           "delete": [owner.session_id], "create": ["world"]}
+    owner.create("/node", b"", acl=acl)
+    with pytest.raises(AccessDeniedError):
+        other.delete("/node")
+    owner.delete("/node")
+    assert owner.exists("/node") is None
+
+
+def test_create_permission_on_parent():
+    cloud, service = make_service(seed=303)
+    owner = service.connect()
+    other = service.connect()
+    acl = {"read": ["world"], "write": ["world"],
+           "delete": ["world"], "create": [owner.session_id]}
+    owner.create("/dir", b"", acl=acl)
+    owner.create("/dir/mine")
+    with pytest.raises(AccessDeniedError):
+        other.create("/dir/theirs")
+    assert other.get_children("/dir") == ["mine"]
+
+
+def test_acl_survives_set_data():
+    cloud, service = make_service(seed=304)
+    owner = service.connect()
+    other = service.connect()
+    acl = {"read": ["world"], "write": [owner.session_id],
+           "delete": ["world"], "create": ["world"]}
+    owner.create("/node", b"v0", acl=acl)
+    owner.set_data("/node", b"v1")
+    with pytest.raises(AccessDeniedError):
+        other.set_data("/node", b"x")  # still protected after the write
+    assert owner.get_acl("/node")["write"] == [owner.session_id]
+
+
+def test_get_acl_open_node():
+    cloud, service = make_service(seed=305)
+    c = service.connect()
+    c.create("/open", b"")
+    assert c.get_acl("/open") is None

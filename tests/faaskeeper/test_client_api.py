@@ -1,0 +1,239 @@
+"""Client API tests: CRUD, versions, paths, stats, errors."""
+
+import pytest
+
+from repro.faaskeeper import (
+    BadArgumentsError,
+    BadVersionError,
+    NoChildrenForEphemeralsError,
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+    SessionClosedError,
+)
+
+
+def test_create_and_get(client):
+    path = client.create("/a", b"data")
+    assert path == "/a"
+    data, stat = client.get_data("/a")
+    assert data == b"data"
+    assert stat.version == 0
+    assert stat.created_tx > 0
+    assert stat.modified_tx == stat.created_tx
+
+
+def test_create_empty_data(client):
+    client.create("/a")
+    data, stat = client.get_data("/a")
+    assert data == b""
+    assert stat.data_length == 0
+
+
+def test_create_duplicate_raises(client):
+    client.create("/a")
+    with pytest.raises(NodeExistsError):
+        client.create("/a")
+
+
+def test_create_without_parent_raises(client):
+    with pytest.raises(NoNodeError):
+        client.create("/missing/child")
+
+
+def test_get_missing_raises(client):
+    with pytest.raises(NoNodeError):
+        client.get_data("/nope")
+
+
+def test_set_data_bumps_version_and_mzxid(client):
+    client.create("/a", b"v0")
+    _, s0 = client.get_data("/a")
+    res = client.set_data("/a", b"v1")
+    assert res.version == 1
+    data, s1 = client.get_data("/a")
+    assert data == b"v1"
+    assert s1.version == 1
+    assert s1.modified_tx > s0.modified_tx
+    assert s1.created_tx == s0.created_tx
+
+
+def test_set_data_version_check(client):
+    client.create("/a", b"v0")
+    client.set_data("/a", b"v1", version=0)
+    with pytest.raises(BadVersionError):
+        client.set_data("/a", b"x", version=0)  # stale expected version
+    data, stat = client.get_data("/a")
+    assert data == b"v1"
+    assert stat.version == 1
+
+
+def test_set_data_missing_node(client):
+    with pytest.raises(NoNodeError):
+        client.set_data("/nope", b"x")
+
+
+def test_delete(client):
+    client.create("/a")
+    client.delete("/a")
+    assert client.exists("/a") is None
+    with pytest.raises(NoNodeError):
+        client.get_data("/a")
+
+
+def test_delete_version_check(client):
+    client.create("/a", b"")
+    client.set_data("/a", b"x")
+    with pytest.raises(BadVersionError):
+        client.delete("/a", version=0)
+    client.delete("/a", version=1)
+    assert client.exists("/a") is None
+
+
+def test_delete_nonempty_raises(client):
+    client.create("/a")
+    client.create("/a/b")
+    with pytest.raises(NotEmptyError):
+        client.delete("/a")
+    client.delete("/a/b")
+    client.delete("/a")
+
+
+def test_delete_missing_raises(client):
+    with pytest.raises(NoNodeError):
+        client.delete("/nope")
+
+
+def test_recreate_after_delete(client):
+    client.create("/a", b"first")
+    client.delete("/a")
+    client.create("/a", b"second")
+    data, stat = client.get_data("/a")
+    assert data == b"second"
+    assert stat.version == 0
+
+
+def test_get_children(client):
+    client.create("/a")
+    client.create("/a/x")
+    client.create("/a/y")
+    assert client.get_children("/a") == ["x", "y"]
+    assert "a" in client.get_children("/")
+
+
+def test_get_children_missing_raises(client):
+    with pytest.raises(NoNodeError):
+        client.get_children("/nope")
+
+
+def test_exists_stat(client):
+    client.create("/a", b"abc")
+    stat = client.exists("/a")
+    assert stat is not None
+    assert stat.data_length == 3
+    assert stat.num_children == 0
+    client.create("/a/b")
+    assert client.exists("/a").num_children == 1
+
+
+def test_cversion_tracks_child_changes(client):
+    client.create("/a")
+    assert client.exists("/a").cversion == 0
+    client.create("/a/x")
+    assert client.exists("/a").cversion == 1
+    client.delete("/a/x")
+    assert client.exists("/a").cversion == 2
+
+
+def test_invalid_paths_rejected(client):
+    for bad in ("a", "", "/a/", "/a//b", "/a/./b", "/a/../b"):
+        with pytest.raises(BadArgumentsError):
+            client.create(bad)
+    with pytest.raises(BadArgumentsError):
+        client.create("/")  # root exists and is not creatable
+    with pytest.raises(BadArgumentsError):
+        client.delete("/")
+
+
+def test_sequence_nodes_monotone(client):
+    client.create("/q")
+    paths = [client.create("/q/task-", sequence=True) for _ in range(4)]
+    assert paths == [
+        "/q/task-0000000000",
+        "/q/task-0000000001",
+        "/q/task-0000000002",
+        "/q/task-0000000003",
+    ]
+    assert client.get_children("/q") == sorted(
+        f"task-{i:010d}" for i in range(4))
+
+
+def test_sequence_counter_shared_across_prefixes(client):
+    client.create("/q")
+    a = client.create("/q/a-", sequence=True)
+    b = client.create("/q/b-", sequence=True)
+    assert a.endswith("0000000000")
+    assert b.endswith("0000000001")
+
+
+def test_ephemeral_node_has_owner(client):
+    client.create("/e", ephemeral=True)
+    stat = client.exists("/e")
+    assert stat.ephemeral_owner == client.session_id
+
+
+def test_no_children_under_ephemeral(client):
+    client.create("/e", ephemeral=True)
+    with pytest.raises(NoChildrenForEphemeralsError):
+        client.create("/e/child")
+
+
+def test_close_deletes_ephemerals(service):
+    c1 = service.connect()
+    c2 = service.connect()
+    c1.create("/e1", ephemeral=True)
+    c1.create("/p")
+    c1.create("/p/e2", ephemeral=True)
+    c1.close()
+    # The close ack confirms the commit; user-store visibility follows once
+    # the leader replicates the deletes.
+    service.cloud.run(until=service.cloud.now + 2_000)
+    assert c2.exists("/e1") is None
+    assert c2.exists("/p/e2") is None
+    assert c2.exists("/p") is not None  # persistent survives
+
+
+def test_closed_session_rejects_ops(client):
+    client.close()
+    with pytest.raises(SessionClosedError):
+        client.create("/x")
+    with pytest.raises(SessionClosedError):
+        client.get_data("/x")
+
+
+def test_context_manager_closes(service):
+    with service.connect() as c:
+        c.create("/cm", b"x")
+    assert c.closed
+    assert service.active_sessions == 0
+
+
+def test_large_node_rejected(client):
+    with pytest.raises(Exception):
+        client.create("/big", b"x" * (300 * 1024))  # above queue payload cap
+
+
+def test_max_size_node_roundtrip(client):
+    payload = b"x" * (250 * 1024)
+    client.create("/big", payload)
+    data, stat = client.get_data("/big")
+    assert data == payload
+    assert stat.data_length == 250 * 1024
+
+
+def test_write_result_fields(client):
+    client.create("/a", b"")
+    res = client.set_data("/a", b"x")
+    assert res.path == "/a"
+    assert res.txid > 0
+    assert res.version == 1

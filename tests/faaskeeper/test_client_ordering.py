@@ -1,0 +1,96 @@
+"""Client-library ordering semantics (Section 3.5)."""
+
+import pytest
+
+from repro.faaskeeper import NoNodeError
+from .conftest import make_service
+
+
+def test_read_after_write_sees_the_write():
+    """The client completion queue: a read issued after a write (async)
+    completes after it and observes its effect."""
+    cloud, service = make_service(seed=500)
+    c = service.connect()
+    c.create("/a", b"old")
+    write = c.set_data_async("/a", b"new")
+    read = c.get_data_async("/a")
+    cloud.run(until=cloud.now + 60_000)
+    assert write.done and read.done
+    data, stat = read.wait()
+    assert data == b"new"
+    assert stat.modified_tx >= write.wait().txid
+
+
+def test_async_results_complete_in_request_order():
+    cloud, service = make_service(seed=501)
+    c = service.connect()
+    c.create("/a", b"")
+    completion_order = []
+
+    futures = []
+    for i in range(4):
+        fut = c.set_data_async("/a", f"w{i}".encode())
+        fut.event.callbacks.append(
+            lambda ev, i=i: completion_order.append(("w", i)))
+        futures.append(fut)
+    read = c.get_data_async("/a")
+    read.event.callbacks.append(lambda ev: completion_order.append(("r", 0)))
+    cloud.run(until=cloud.now + 120_000)
+    assert completion_order == [("w", 0), ("w", 1), ("w", 2), ("w", 3),
+                                ("r", 0)]
+
+
+def test_failed_predecessor_does_not_poison_successors():
+    cloud, service = make_service(seed=502)
+    c = service.connect()
+    c.create("/a", b"")
+    bad = c.set_data_async("/missing", b"x")   # will fail with NoNode
+    good = c.set_data_async("/a", b"y")
+    cloud.run(until=cloud.now + 60_000)
+    with pytest.raises(NoNodeError):
+        bad.wait()
+    assert good.wait().version == 1
+
+
+def test_mrd_advances_with_responses():
+    cloud, service = make_service(seed=503)
+    c = service.connect()
+    c.create("/a", b"")
+    assert c.mrd > 0
+    before = c.mrd
+    c.set_data("/a", b"x")
+    assert c.mrd > before
+
+
+def test_interleaved_reads_and_writes_pipeline():
+    """Reads between writes all complete, in order, with consistent data."""
+    cloud, service = make_service(seed=504)
+    c = service.connect()
+    c.create("/a", b"v0")
+    futures = []
+    for i in range(3):
+        futures.append(("w", c.set_data_async("/a", f"v{i+1}".encode())))
+        futures.append(("r", c.get_data_async("/a")))
+    cloud.run(until=cloud.now + 120_000)
+    last_version = -1
+    for kind, fut in futures:
+        assert fut.done
+        if kind == "r":
+            _, stat = fut.wait()
+            assert stat.version >= last_version
+            last_version = stat.version
+    # the final read saw the final write
+    assert last_version == 3
+
+
+def test_watch_callbacks_are_per_registration():
+    cloud, service = make_service(seed=505)
+    c = service.connect()
+    c.create("/a", b"")
+    hits = []
+    c.get_data("/a", watch=lambda ev: hits.append("first"))
+    c.get_data("/a", watch=lambda ev: hits.append("second"))
+    c.set_data("/a", b"x")
+    cloud.run(until=cloud.now + 10_000)
+    # both registrations joined the same instance: both callbacks fire once
+    assert sorted(hits) == ["first", "second"]

@@ -1,0 +1,96 @@
+"""Garbage-collection function tests (extension feature)."""
+
+import pytest
+
+from repro.cloud import OpContext
+from .conftest import make_service
+
+
+def test_gc_collects_tombstones(cloud=None):
+    cloud, service = make_service(seed=200)
+    c = service.connect()
+    c.create("/a")
+    c.delete("/a")
+    nodes = service.system_store.table("fk-system-nodes")
+    assert nodes.raw("/a") is not None  # tombstone present
+    assert nodes.raw("/a")["exists"] is False
+    cloud.run(until=cloud.now + 10 * 60_000)  # grace + two sweeps
+    assert nodes.raw("/a") is None
+    assert service.gc_logic.collected_tombstones >= 1
+
+
+def test_gc_spares_live_nodes():
+    cloud, service = make_service(seed=201)
+    c = service.connect()
+    c.create("/keep", b"x")
+    cloud.run(until=cloud.now + 10 * 60_000)
+    nodes = service.system_store.table("fk-system-nodes")
+    assert nodes.raw("/keep")["exists"] is True
+    data, _ = c.get_data("/keep")
+    assert data == b"x"
+
+
+def test_gc_collects_phantom_lock_items():
+    """A failed create leaves an item with only a lock; GC sweeps it."""
+    cloud, service = make_service(seed=202)
+    c = service.connect()
+
+    def hog():
+        handle = yield from service.node_lock.acquire(OpContext(), "/phantom")
+        assert handle is not None
+        released = yield from service.node_lock.release(OpContext(), handle)
+        assert released
+
+    cloud.run_process(hog())
+    nodes = service.system_store.table("fk-system-nodes")
+    assert nodes.raw("/phantom") == {}  # empty phantom item
+    cloud.run(until=cloud.now + 10 * 60_000)
+    assert nodes.raw("/phantom") is None
+    assert service.gc_logic.collected_phantoms >= 1
+
+
+def test_gc_drops_watches_of_dead_sessions():
+    cloud, service = make_service(seed=203)
+    c1 = service.connect()
+    c2 = service.connect()
+    c1.create("/w", b"")
+    c2.get_data("/w", watch=lambda ev: None)
+    c2.close()
+    watches = service.system_store.table("fk-system-watches")
+    assert watches.raw("/w")["inst"].get("data") is not None
+    cloud.run(until=cloud.now + 10 * 60_000)
+    assert not watches.raw("/w")["inst"].get("data")
+    assert service.gc_logic.collected_watches >= 1
+
+
+def test_gc_keeps_watches_of_live_sessions():
+    cloud, service = make_service(seed=204)
+    c1 = service.connect()
+    c1.create("/w", b"")
+    c1.get_data("/w", watch=lambda ev: None)
+    cloud.run(until=cloud.now + 10 * 60_000)
+    watches = service.system_store.table("fk-system-watches")
+    assert watches.raw("/w")["inst"].get("data") is not None
+
+
+def test_gc_suspended_at_scale_to_zero():
+    cloud, service = make_service(seed=205)
+    c = service.connect()
+    assert service.gc_task.enabled
+    c.close()
+    assert not service.gc_task.enabled
+    fired = service.gc_task.fired
+    cloud.run(until=cloud.now + 30 * 60_000)
+    assert service.gc_task.fired == fired
+
+
+def test_recreate_works_after_gc():
+    cloud, service = make_service(seed=206)
+    c = service.connect()
+    c.create("/a", b"v1")
+    c.delete("/a")
+    cloud.run(until=cloud.now + 10 * 60_000)  # tombstone collected
+    c.create("/a", b"v2")
+    data, stat = c.get_data("/a")
+    assert data == b"v2"
+    assert stat.version == 0

@@ -1,0 +1,118 @@
+"""Multi-region deployments (Section 4.1, "User data locality")."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.faaskeeper import FaaSKeeperConfig, FaaSKeeperService
+
+REGIONS = ["us-east-1", "eu-west-1", "ap-south-1"]
+
+
+def deploy(seed=400, **kw):
+    cloud = Cloud.aws(seed=seed)
+    config = FaaSKeeperConfig(regions=list(REGIONS), user_store="dynamodb", **kw)
+    return cloud, FaaSKeeperService.deploy(cloud, config)
+
+
+def test_writes_replicate_to_all_regions():
+    cloud, service = deploy()
+    writer = service.connect(region="us-east-1")
+    writer.create("/global", b"payload")
+    cloud.run(until=cloud.now + 3000)
+    for region in REGIONS:
+        reader = service.connect(region=region)
+        data, stat = reader.get_data("/global")
+        assert data == b"payload"
+
+
+def test_clients_read_from_local_region_at_local_latency():
+    """Cross-region reads pay the Figure 4b penalty; local reads do not."""
+    cloud, service = deploy(seed=401)
+    writer = service.connect(region="us-east-1")
+    writer.create("/n", b"x" * 1024)
+    cloud.run(until=cloud.now + 3000)
+
+    def median_read(region):
+        client = service.connect(region=region)
+        times = []
+        for _ in range(30):
+            t0 = cloud.now
+            client.get_data("/n")
+            times.append(cloud.now - t0)
+        times.sort()
+        return times[len(times) // 2]
+
+    # every region has a local replica: all reads are fast
+    for region in REGIONS:
+        assert median_read(region) < 20
+
+
+def test_all_region_replicas_converge():
+    cloud, service = deploy(seed=402)
+    c = service.connect()
+    c.create("/a", b"")
+    for i in range(5):
+        c.set_data("/a", f"v{i}".encode())
+    cloud.run(until=cloud.now + 5000)
+    images = []
+    for region in REGIONS:
+        kv = cloud.kv("dynamodb:user", region=region)
+        images.append(kv.table("fk-user-nodes").raw("/a"))
+    assert all(img["data"] == b"v4" for img in images)
+    assert len({img["modified_tx"] for img in images}) == 1
+
+
+def test_deletes_propagate_to_all_regions():
+    cloud, service = deploy(seed=403)
+    c = service.connect()
+    c.create("/gone", b"")
+    c.delete("/gone")
+    cloud.run(until=cloud.now + 3000)
+    for region in REGIONS:
+        reader = service.connect(region=region)
+        assert reader.exists("/gone") is None
+
+
+def test_watches_fire_regardless_of_region():
+    cloud, service = deploy(seed=404)
+    writer = service.connect(region="us-east-1")
+    watcher = service.connect(region="ap-south-1")
+    events = []
+    writer.create("/w", b"")
+    cloud.run(until=cloud.now + 3000)
+    watcher.get_data("/w", watch=events.append)
+    writer.set_data("/w", b"x")
+    cloud.run(until=cloud.now + 5000)
+    assert len(events) == 1
+
+
+def test_multi_region_write_slower_than_single():
+    """Replication is parallel across regions, so the penalty is bounded by
+    the slowest region write, not the sum."""
+    def median_write(regions, seed):
+        cloud = Cloud.aws(seed=seed)
+        service = FaaSKeeperService.deploy(
+            cloud, FaaSKeeperConfig(regions=regions, user_store="dynamodb"))
+        c = service.connect(region=regions[0])
+        c.create("/n", b"")
+        times = []
+        for _ in range(25):
+            t0 = cloud.now
+            c.set_data("/n", b"x" * 1024)
+            times.append(cloud.now - t0)
+        times.sort()
+        return times[len(times) // 2]
+
+    single = median_write(["us-east-1"], 405)
+    triple = median_write(list(REGIONS), 405)
+    # The two remote replicas are written in parallel: the commit pays ONE
+    # inter-region penalty (~140 ms), not one per region.
+    assert single + 80 < triple < single + 300
+
+
+def test_epoch_counters_per_region():
+    cloud, service = deploy(seed=406)
+    for region in REGIONS:
+        raw = service.system_store.table("fk-system-state").raw(
+            f"epoch:{region}")
+        assert raw == {"items": []}

@@ -1,0 +1,100 @@
+"""Sessions, heartbeat, eviction, scale-to-zero."""
+
+import pytest
+
+from repro.faaskeeper import SessionClosedError
+from .conftest import make_service
+
+
+def test_heartbeat_starts_with_first_session(service):
+    assert not service.heartbeat_task.enabled
+    c = service.connect()
+    assert service.heartbeat_task.enabled
+    c.close()
+    assert not service.heartbeat_task.enabled
+
+
+def test_scale_to_zero_no_compute_costs_when_idle(cloud, service):
+    """Table 1: scale-to-zero — an idle deployment accrues no function or
+    queue charges, only (externally modeled) storage retention."""
+    c = service.connect()
+    c.create("/a", b"x")
+    c.close()
+    before = cloud.meter.total
+    cloud.run(until=cloud.now + 24 * 3600 * 1000)  # one idle day
+    assert cloud.meter.total == before
+
+
+def test_heartbeat_fires_every_minute_with_ephemeral_owner(cloud, service):
+    c = service.connect()
+    c.create("/e", ephemeral=True)
+    fired_before = service.heartbeat_task.fired
+    cloud.run(until=cloud.now + 5 * 60_000)
+    assert service.heartbeat_task.fired - fired_before == 5
+
+
+def test_dead_client_evicted_and_ephemerals_cleaned(cloud, service):
+    c1 = service.connect()
+    c2 = service.connect()
+    c1.create("/e", ephemeral=True)
+    c1.create("/persistent")
+    c1.alive = False  # stops answering heartbeats
+    cloud.run(until=cloud.now + 3 * 60_000)
+    assert c2.exists("/e") is None
+    assert c2.exists("/persistent") is not None
+    assert service.heartbeat_logic.evictions >= 1
+    # session record removed
+    assert service.system_store.table("fk-system-sessions").raw(
+        c1.session_id) is None
+
+
+def test_eviction_fires_watches(cloud, service):
+    c1 = service.connect()
+    c2 = service.connect()
+    events = []
+    c1.create("/e", ephemeral=True)
+    c2.get_data("/e", watch=events.append)
+    c1.alive = False
+    cloud.run(until=cloud.now + 3 * 60_000)
+    assert len(events) == 1
+
+
+def test_live_client_not_evicted(cloud, service):
+    c = service.connect()
+    c.create("/e", ephemeral=True)
+    cloud.run(until=cloud.now + 10 * 60_000)
+    assert c.exists("/e") is not None
+    assert service.heartbeat_logic.evictions == 0
+
+
+def test_sessions_without_ephemerals_not_pinged(cloud, service):
+    c = service.connect()
+    c.create("/plain")
+    c.alive = False  # irrelevant: owns no ephemerals
+    cloud.run(until=cloud.now + 3 * 60_000)
+    assert service.system_store.table("fk-system-sessions").raw(
+        c.session_id) is not None
+
+
+def test_two_sessions_are_isolated_queues(service):
+    c1, c2 = service.connect(), service.connect()
+    assert c1.session_id != c2.session_id
+    assert service._session_queues[c1.session_id] is not \
+        service._session_queues[c2.session_id]
+
+
+def test_session_writes_after_eviction_fail(cloud, service):
+    c = service.connect()
+    c.create("/e", ephemeral=True)
+    c.alive = False
+    cloud.run(until=cloud.now + 3 * 60_000)
+    assert c.closed
+    with pytest.raises(SessionClosedError):
+        c.create("/x")
+
+
+def test_heartbeat_cost_is_metered(cloud, service):
+    c = service.connect()
+    c.create("/e", ephemeral=True)
+    cloud.run(until=cloud.now + 10 * 60_000)
+    assert cloud.meter.service_total("fn:fk-heartbeat") > 0

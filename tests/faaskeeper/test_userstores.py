@@ -1,0 +1,115 @@
+"""User-store backends: S3 / DynamoDB / hybrid / Redis (Section 4.2)."""
+
+import pytest
+
+from repro.faaskeeper.layout import USER_BUCKET, USER_TABLE
+from .conftest import make_service
+
+
+@pytest.mark.parametrize("kind", ["s3", "dynamodb", "hybrid", "redis"])
+def test_crud_roundtrip_on_every_backend(kind):
+    cloud, service = make_service(user_store=kind)
+    c = service.connect()
+    c.create("/a", b"payload")
+    data, stat = c.get_data("/a")
+    assert data == b"payload"
+    c.set_data("/a", b"updated")
+    data, _ = c.get_data("/a")
+    assert data == b"updated"
+    c.create("/a/b", b"child")
+    assert c.get_children("/a") == ["b"]
+    c.delete("/a/b")
+    c.delete("/a")
+    assert c.exists("/a") is None
+
+
+def test_hybrid_small_node_stays_in_kv():
+    cloud, service = make_service(user_store="hybrid")
+    c = service.connect()
+    c.create("/small", b"x" * 1024)  # 1 kB <= 4 kB threshold
+    kv = cloud.kv("dynamodb:user")
+    item = kv.table(USER_TABLE).raw("/small")
+    assert item is not None and item["data"] == b"x" * 1024
+    s3 = cloud.objectstore("s3")
+    assert s3.raw(USER_BUCKET, "/small") is None
+
+
+def test_hybrid_large_node_spills_data_to_s3():
+    cloud, service = make_service(user_store="hybrid")
+    c = service.connect()
+    payload = b"x" * (64 * 1024)
+    c.create("/large", payload)
+    kv = cloud.kv("dynamodb:user")
+    item = kv.table(USER_TABLE).raw("/large")
+    assert item["data_in_s3"] is True
+    assert "data" not in item
+    s3 = cloud.objectstore("s3")
+    assert s3.raw(USER_BUCKET, "/large") == payload
+    # the client reassembles transparently
+    data, stat = c.get_data("/large")
+    assert data == payload
+    assert stat.data_length == len(payload)
+
+
+def test_hybrid_delete_cleans_both_stores():
+    cloud, service = make_service(user_store="hybrid")
+    c = service.connect()
+    c.create("/large", b"x" * (64 * 1024))
+    c.delete("/large")
+    cloud.run(until=cloud.now + 3000)
+    assert cloud.kv("dynamodb:user").table(USER_TABLE).raw("/large") is None
+    assert cloud.objectstore("s3").raw(USER_BUCKET, "/large") is None
+
+
+def test_read_latency_ranking_matches_figure8():
+    """Figure 8: Redis < DynamoDB < S3 for small-node reads."""
+    medians = {}
+    for kind in ("redis", "dynamodb", "s3"):
+        cloud, service = make_service(user_store=kind, seed=31)
+        c = service.connect()
+        c.create("/n", b"x" * 1024)
+        times = []
+        for _ in range(60):
+            t0 = cloud.now
+            c.get_data("/n")
+            times.append(cloud.now - t0)
+        times.sort()
+        medians[kind] = times[len(times) // 2]
+    assert medians["redis"] < medians["dynamodb"] < medians["s3"]
+    assert medians["redis"] < 2.0          # in-memory ~ZooKeeper level
+    assert 3.0 < medians["dynamodb"] < 9.0  # ~5 ms
+    assert 9.0 < medians["s3"] < 20.0       # ~12 ms
+
+
+def test_hybrid_read_cheaper_than_s3_for_small_nodes():
+    """Section 4.2: hybrid reads a 1 kB node from DynamoDB: 0.25e-6 vs S3
+    0.4e-6 per read."""
+    costs = {}
+    for kind in ("hybrid", "s3"):
+        cloud, service = make_service(user_store=kind, seed=5)
+        c = service.connect()
+        c.create("/n", b"x" * 1024)
+        before = cloud.meter.by_service()
+        for _ in range(100):
+            c.get_data("/n")
+        delta = cloud.meter.delta(before)
+        costs[kind] = sum(v for k, v in delta.items()
+                          if k in ("s3", "dynamodb:user"))
+    assert costs["hybrid"] < costs["s3"]
+
+
+def test_write_latency_s3_grows_faster_than_dynamodb_small():
+    """Figure 11: replacing S3 with DynamoDB cuts small-node write time."""
+    medians = {}
+    for kind in ("dynamodb", "s3"):
+        cloud, service = make_service(user_store=kind, seed=77)
+        c = service.connect()
+        c.create("/n", b"")
+        times = []
+        for i in range(40):
+            t0 = cloud.now
+            c.set_data("/n", b"y" * 512)
+            times.append(cloud.now - t0)
+        times.sort()
+        medians[kind] = times[len(times) // 2]
+    assert medians["dynamodb"] < medians["s3"]

@@ -1,0 +1,299 @@
+"""Unit tests for the DES kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(5)
+        log.append(env.now)
+        yield env.timeout(2.5)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [5.0, 7.5]
+
+
+def test_timeout_value_is_delivered():
+    env = Environment()
+    out = []
+
+    def proc(env):
+        v = yield env.timeout(1, value="hello")
+        out.append(v)
+
+    env.process(proc(env))
+    env.run()
+    assert out == ["hello"]
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3)
+        return 42
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 42
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc(env))
+    env.run(until=25)
+    assert env.now == 25
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=0)
+    def proc(env):
+        yield env.timeout(10)
+    env.process(proc(env))
+    env.run(until=5)
+    with pytest.raises(SimulationError):
+        env.run(until=1)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    out = []
+
+    def waiter(env):
+        v = yield ev
+        out.append((env.now, v))
+
+    def firer(env):
+        yield env.timeout(7)
+        ev.succeed("payload")
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert out == [(7.0, "payload")]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def firer(env):
+        yield env.timeout(1)
+        ev.fail(ValueError("boom"))
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_unhandled_process_exception_propagates():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_awaiting_failed_process_reraises():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        raise KeyError("inner")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except KeyError:
+            return "caught"
+        return "missed"
+
+    p = env.process(parent(env))
+    assert env.run(until=p) == "caught"
+
+
+def test_fifo_order_of_simultaneous_timeouts():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(5)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(3, value="fast")
+        t2 = env.timeout(9, value="slow")
+        result = yield AnyOf(env, [t1, t2])
+        return (env.now, list(result.values()))
+
+    p = env.process(proc(env))
+    now, values = env.run(until=p)
+    assert now == 3.0
+    assert values == ["fast"]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(3, value=1)
+        t2 = env.timeout(9, value=2)
+        result = yield AllOf(env, [t1, t2])
+        return (env.now, sorted(result.values()))
+
+    p = env.process(proc(env))
+    now, values = env.run(until=p)
+    assert now == 9.0
+    assert values == [1, 2]
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+
+    def proc(env):
+        yield AllOf(env, [])
+        return env.now
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 0.0
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    out = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as exc:
+            out.append((env.now, exc.cause))
+
+    def attacker(env, target):
+        yield env.timeout(4)
+        target.interrupt("preempted")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert out == [(4.0, "preempted")]
+
+
+def test_interrupt_terminated_process_rejected():
+    env = Environment()
+
+    def victim(env):
+        yield env.timeout(1)
+
+    v = env.process(victim(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        v.interrupt()
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+
+    def proc(env):
+        yield 42  # type: ignore[misc]
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_run_until_event_with_dry_schedule_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError, match="ran dry"):
+        env.run(until=ev)
+
+
+def test_nested_yield_from_processes():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(2)
+        return 10
+
+    def outer(env):
+        a = yield from inner(env)
+        b = yield from inner(env)
+        return a + b
+
+    p = env.process(outer(env))
+    assert env.run(until=p) == 20
+    assert env.now == 4.0
+
+
+def test_immediate_event_yield():
+    """Yielding an already-processed event resumes without rescheduling."""
+    env = Environment()
+
+    def proc(env):
+        ev = env.event()
+        ev.succeed("x")
+        yield env.timeout(0)  # let the event be processed
+        v = yield ev
+        return v
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "x"

@@ -1,0 +1,75 @@
+"""Tests for workload generators and the HBase coordination trace."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.workloads import (
+    CORE_WORKLOADS,
+    HBaseSimulation,
+    HBaseZnodeLayout,
+    MixSpec,
+    generate_mix,
+)
+from repro.workloads.ycsb import YcsbWorkload
+
+
+def test_mix_respects_read_fraction():
+    spec = MixSpec(n_ops=2000, read_fraction=0.9, seed=3)
+    ops = list(generate_mix(spec))
+    reads = sum(1 for op, _, _ in ops if op == "read")
+    assert len(ops) == 2000
+    assert 0.85 < reads / len(ops) < 0.95
+
+
+def test_mix_deterministic_per_seed():
+    spec = MixSpec(n_ops=100, read_fraction=0.5, seed=9)
+    assert list(generate_mix(spec)) == list(generate_mix(spec))
+
+
+def test_mix_write_payload_size():
+    spec = MixSpec(n_ops=200, read_fraction=0.0, value_bytes=512, seed=1)
+    for op, _path, data in generate_mix(spec):
+        assert op == "write"
+        assert len(data) == 512
+
+
+def test_ycsb_core_workloads_well_formed():
+    names = [w.name for w in CORE_WORKLOADS]
+    assert names == ["A", "B", "C", "D", "E", "F"]
+    with pytest.raises(ValueError):
+        YcsbWorkload("bad", read=0.5)
+
+
+def test_hbase_layout_matches_paper_stats():
+    """Section 5.1: 29 nodes, median 0 bytes, mean ~46, max 320."""
+    layout = HBaseZnodeLayout(n_regionservers=3)
+    nodes = layout.nodes()
+    assert len(nodes) == 29
+    sizes = sorted(len(d) for _p, d in nodes)
+    assert sizes[len(sizes) // 2] == 0
+    mean = sum(sizes) / len(sizes)
+    assert 40 <= mean <= 55
+    assert max(sizes) == 320
+
+
+def test_hbase_simulation_low_zookeeper_usage():
+    """Figure 5's shape: thousands of HBase requests, ZooKeeper usage tiny
+    and VM utilization in the ~0.5-1% band."""
+    cloud = Cloud.aws(seed=44)
+    sim = HBaseSimulation(cloud)
+    sim.run_standard_experiment(phase_ms=60_000)  # shortened phases
+    zk_total = sim.zk_reads + sim.zk_writes
+    assert sim.hbase_requests > 100 * zk_total
+    assert zk_total < 1000  # "less than a thousand requests"
+    cpu = [s.cpu for s in sim.samples]
+    assert max(cpu) < 0.15
+    assert sum(cpu) / len(cpu) < 0.05
+
+
+def test_hbase_writes_are_rare_after_setup():
+    cloud = Cloud.aws(seed=45)
+    sim = HBaseSimulation(cloud)
+    setup_writes = sim.zk_writes
+    sim.run_standard_experiment(phase_ms=60_000)
+    phase_writes = sim.zk_writes - setup_writes
+    assert phase_writes <= 12  # "12 writes" annotation in Figure 5
