@@ -88,12 +88,14 @@ class Cloud:
         return self._caches[key]
 
     def fifo_queue(self, name: str, label: str = "queue",
-                   max_receive: Optional[int] = 5) -> FifoQueue:
+                   max_receive: Optional[int] = 5,
+                   seq_source: Optional[Any] = None) -> FifoQueue:
         if name in self._queues:
             raise ValueError(f"queue {name!r} already exists")
         q = FifoQueue(name, self.env, self.profile, self.meter,
                       self.rng.stream(f"queue:{name}"),
-                      service_label=label, max_receive=max_receive)
+                      service_label=label, max_receive=max_receive,
+                      seq_source=seq_source)
         self._queues[name] = q
         return q
 

@@ -33,10 +33,30 @@ from .functions import DeployedFunction
 from .kvstore import StreamRecord, Table
 from .pricing import CostMeter
 
-__all__ = ["Message", "FifoQueue", "StandardQueue", "StreamTrigger"]
+__all__ = ["Message", "FifoQueue", "StandardQueue", "StreamTrigger",
+           "SharedSequence"]
 
 #: Delay before a failed FIFO batch becomes visible again (ms).
 REDELIVERY_BACKOFF_MS = 100.0
+
+
+class SharedSequence:
+    """A monotone counter shared by several queues.
+
+    FaaSKeeper uses the leader queue's sequence number as the transaction
+    id.  With a sharded leader pipeline the ids handed out by the shard
+    queues must stay globally comparable — the client's MRD tracking and
+    the per-node ``applied_tx`` watermarks order txids across shards — so
+    every shard queue draws from one counter (SQS FIFO sequence numbers
+    are monotone per queue; a real deployment would reserve id ranges or
+    use an atomic counter item, which is a single-write operation)."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def next(self) -> int:
+        self.value += 1
+        return self.value
 
 
 @dataclass
@@ -62,6 +82,7 @@ class _QueueBase:
         meter: CostMeter,
         rng,
         service_label: str = "queue",
+        seq_source: Optional[SharedSequence] = None,
     ) -> None:
         self.name = name
         self.env = env
@@ -70,10 +91,14 @@ class _QueueBase:
         self.rng = rng
         self.service_label = service_label
         self._seq = 0
+        self._seq_source = seq_source
         self.sent = 0
         self.delivered = 0
 
     def _next_seq(self) -> int:
+        if self._seq_source is not None:
+            self._seq = self._seq_source.next()
+            return self._seq
         self._seq += 1
         return self._seq
 
@@ -111,8 +136,10 @@ class FifoQueue(_QueueBase):
 
     def __init__(self, name, env, profile, meter, rng,
                  service_label: str = "queue",
-                 max_receive: Optional[int] = 5) -> None:
-        super().__init__(name, env, profile, meter, rng, service_label)
+                 max_receive: Optional[int] = 5,
+                 seq_source: Optional[SharedSequence] = None) -> None:
+        super().__init__(name, env, profile, meter, rng, service_label,
+                         seq_source=seq_source)
         self._buffer: Store = Store(env)
         self.max_receive = max_receive
         self._function: Optional[DeployedFunction] = None

@@ -190,6 +190,10 @@ class FaaSKeeperClient:
         self._write_tail = internal
         return internal
 
+    def shard_for(self, path: str) -> int:
+        """Leader shard this client routes writes for ``path`` to."""
+        return self.service.shard_of(path)
+
     def _write_flow(self, request: Request, internal=None) -> Generator:
         if internal is None:
             internal = self._prepare_write(request)
@@ -199,6 +203,15 @@ class FaaSKeeperClient:
             "version": request.version, "ephemeral": request.ephemeral,
             "sequence": request.sequence, "acl": request.acl,
         }
+        if self.service.config.leader_shards > 1:
+            # Route annotation for the sharded pipeline: the client library
+            # owns the partition map (hash of the top-level component) and
+            # stamps each write with its target shard.  The follower routes
+            # by the shard it recomputes from the final path and counts
+            # disagreeing hints (``service.shard_hint_mismatches``) — e.g.
+            # a stale client map, or a sequence suffix remapping a
+            # top-level create.
+            body["shard_hint"] = self.shard_for(request.path)
         # The client's single send thread (Section 3.5): submissions of one
         # session enter the queue strictly in request order (Z2), while later
         # pipeline stages still overlap.
@@ -290,16 +303,31 @@ class FaaSKeeperClient:
                     yield waiter
         return None
 
-    def _read_image(self, path: str) -> Generator:
+    def _write_barrier(self):
+        """Events of the writes this client must see before a read starts.
+
+        Single leader: responses arrive in request order, so the last
+        prepared write's event covers all earlier ones.  Sharded pipeline:
+        a coalesced write's response is deferred until its superseding
+        write lands, which can reorder deliveries — the read then waits for
+        *every* outstanding write issued before it, so an acknowledged-but-
+        superseded write is never read stale.
+        """
+        if self.service.config.leader_shards > 1:
+            return [self._pending[rid] for rid in sorted(self._pending)]
+        return [self._write_tail] if self._write_tail is not None else []
+
+    def _read_image(self, path: str, barrier=None) -> Generator:
         # Session FIFO processing (ZooKeeper read-your-writes): the fetch
         # starts only after the responses of all earlier writes arrived, so
         # a read following a write observes it.  Writes themselves pipeline.
-        pending_write = self._write_tail
-        if pending_write is not None and not pending_write.processed:
-            try:
-                yield pending_write
-            except Exception:
-                pass  # a failed write belongs to its own caller
+        for pending_write in (barrier if barrier is not None
+                              else self._write_barrier()):
+            if pending_write is not None and not pending_write.processed:
+                try:
+                    yield pending_write
+                except Exception:
+                    pass  # a failed write belongs to its own caller
         image = yield from self.service.user_store.read_node(
             self.ctx, self.region, path)
         if image is None or image.get("deleted"):
@@ -315,15 +343,24 @@ class FaaSKeeperClient:
         yield self.env.timeout(0.05 + 0.002 * data_kb)
         return image
 
+    def _read_barrier(self) -> Optional[List]:
+        """Snapshot the write barrier at read-issue time for the sharded
+        pipeline (a read must not wait for writes issued after it); the
+        single-leader path keeps its execution-time tail capture."""
+        if self.service.config.leader_shards > 1:
+            return self._write_barrier()
+        return None
+
     def get_data_async(self, path: str,
                        watch: Optional[Callable] = None) -> FKFuture:
         self._check_open()
         validate_path(path)
+        barrier = self._read_barrier()
 
         def flow():
             if watch is not None:
                 yield from self._register_watch(path, WatchType.DATA, watch)
-            image = yield from self._read_image(path)
+            image = yield from self._read_image(path, barrier)
             if image is None:
                 raise NoNodeError(path)
             return image.get("data", b""), NodeStat.from_image(image)
@@ -334,11 +371,12 @@ class FaaSKeeperClient:
                      watch: Optional[Callable] = None) -> FKFuture:
         self._check_open()
         validate_path(path)
+        barrier = self._read_barrier()
 
         def flow():
             if watch is not None:
                 yield from self._register_watch(path, WatchType.EXISTS, watch)
-            image = yield from self._read_image(path)
+            image = yield from self._read_image(path, barrier)
             if image is None:
                 return None
             return NodeStat.from_image(image)
@@ -349,11 +387,12 @@ class FaaSKeeperClient:
                            watch: Optional[Callable] = None) -> FKFuture:
         self._check_open()
         validate_path(path)
+        barrier = self._read_barrier()
 
         def flow():
             if watch is not None:
                 yield from self._register_watch(path, WatchType.CHILDREN, watch)
-            image = yield from self._read_image(path)
+            image = yield from self._read_image(path, barrier)
             if image is None:
                 raise NoNodeError(path)
             return sorted(image.get("children", []))
@@ -385,9 +424,10 @@ class FaaSKeeperClient:
 
     def get_acl(self, path: str) -> Optional[dict]:
         """Read a node's ACL (None = open access)."""
+        barrier = self._read_barrier()
 
         def flow():
-            image = yield from self._read_image(path)
+            image = yield from self._read_image(path, barrier)
             if image is None:
                 raise NoNodeError(path)
             return image.get("acl")

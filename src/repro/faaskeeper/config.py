@@ -39,6 +39,15 @@ class FaaSKeeperConfig:
     follower_max_receive: Optional[int] = 5
     follower_batch: int = 10
     leader_batch: int = 10
+    #: Number of leader shards: the znode tree is partitioned by top-level
+    #: path component, with one FIFO queue + leader function per shard.
+    #: 1 reproduces the paper's single-leader pipeline (Algorithm 2) exactly.
+    leader_shards: int = 1
+    #: Coalesce superseded user-store writes inside one leader delivery
+    #: batch (bounded by the SQS ``fifo_batch_limit`` calibration).
+    #: None = auto: enabled for sharded deployments, off for the paper's
+    #: single-leader configuration so its published latencies stay intact.
+    leader_coalesce: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.user_store not in UserStoreKind.ALL:
@@ -47,6 +56,14 @@ class FaaSKeeperConfig:
             raise ValueError("need at least one region")
         if self.arch not in ("x86", "arm"):
             raise ValueError(f"unknown arch {self.arch!r}")
+        if self.leader_shards < 1:
+            raise ValueError(f"leader_shards must be >= 1, got {self.leader_shards}")
+
+    @property
+    def coalesce_enabled(self) -> bool:
+        if self.leader_coalesce is None:
+            return self.leader_shards > 1
+        return self.leader_coalesce
 
     @property
     def primary_region(self) -> str:

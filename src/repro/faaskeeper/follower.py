@@ -151,12 +151,25 @@ class FollowerLogic:
             yield from self.service.node_lock.release(fctx.ctx, handles.pop(req.path))
             handles[final_path] = handle
 
-        # ➂ push to leader (txid = queue sequence number)
+        # ➂ push to the owning shard's leader queue (txid = sequence number,
+        # globally monotone across shards via the shared sequence)
         t0 = env.now
         # CPU cost of encoding the payload (base64 in the real system);
         # this is where ARM's data-processing penalty shows up.
         yield fctx.compute(base_ms=0.2, payload_kb=req.size_kb, per_kb_ms=0.05)
-        txid = yield from self.service.leader_queue.send(
+        board = self.service.fence_board
+        if board is not None:
+            # Session-sequence fence: pushes of one session are serialized
+            # by its FIFO queue, so fences follow request order; the shard
+            # leaders use them to keep cross-shard writes in session order.
+            msg["fence"] = board.issue(req.session)
+            msg["shard"] = self.service.shard_of(final_path)
+            if req.shard_hint is not None and req.shard_hint != msg["shard"]:
+                # Routing always uses the shard recomputed from the final
+                # path; a disagreeing client hint means a stale partition
+                # map (or a sequence suffix remapping a top-level create).
+                self.service.shard_hint_mismatches += 1
+        txid = yield from self.service.leader_queue_for(final_path).send(
             fctx.ctx, msg, group="updates", size_kb=req.size_kb)
         fctx.record("push", env.now - t0)
         fctx.crash_point("after_push")

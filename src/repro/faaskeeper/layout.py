@@ -39,6 +39,7 @@ User node image (any backend)::
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Dict, List, Optional
 
 __all__ = [
@@ -51,6 +52,8 @@ __all__ = [
     "epoch_key",
     "new_system_node",
     "user_image_from_system",
+    "top_component",
+    "shard_of_path",
 ]
 
 SYSTEM_NODES = "fk-system-nodes"
@@ -64,6 +67,31 @@ USER_BUCKET = "fk-user-data"
 def epoch_key(region: str) -> str:
     """System-state key of the region-wide epoch counter (Section 3.4)."""
     return f"epoch:{region}"
+
+
+def top_component(path: str) -> str:
+    """First component of an absolute znode path ('' for the root)."""
+    end = path.find("/", 1)
+    return path[1:] if end < 0 else path[1:end]
+
+
+def shard_of_path(path: str, num_shards: int) -> int:
+    """Leader shard owning ``path``: stable hash of the top-level component.
+
+    The znode tree is partitioned by subtree: every node below ``/a`` maps
+    to the same shard, so the two system items a create/delete touches
+    (node + parent) live on one leader and commit through one FIFO queue.
+    The only cross-shard parent is the root itself — replication of ``/``
+    is ordered by the per-path pending-transaction gate in the leader.
+    ``crc32`` keeps the mapping stable across processes and Python builds
+    (the builtin ``hash`` is salted per interpreter run).
+    """
+    if num_shards <= 1:
+        return 0
+    comp = top_component(path)
+    if not comp:
+        return 0
+    return zlib.crc32(comp.encode("utf-8")) % num_shards
 
 
 def new_system_node(

@@ -1,6 +1,6 @@
-"""The leader function (Algorithm 2).
+"""The leader function (Algorithm 2), one instance per shard.
 
-A single FIFO queue feeds a single leader instance with committed updates in
+A FIFO queue per shard feeds a leader instance with committed updates in
 txid order.  For each update the leader
 
 ➊ reads the system node and verifies the transaction is at the head of the
@@ -18,18 +18,34 @@ txid order.  For each update the leader
 Ambiguous states (lock still held by a live follower) raise, making the
 FIFO queue redeliver the batch; the ``applied_tx`` watermark makes
 redeliveries idempotent.
+
+Sharded-pipeline extensions (disabled at ``leader_shards=1``, which runs
+the paper's single-leader Algorithm 2 unchanged):
+
+* **session fences** — a session's writes may land on different shards;
+  each message carries a session-sequence fence and a leader only starts a
+  message after the session's previous write finished on whichever shard
+  owns it, so commits and user-store visibility follow request order (Z2);
+* **parent replication gate** — the root is the parent of every top-level
+  node and is therefore written by several shards; before replicating a
+  parent image the leader waits until its txid reaches the head of the
+  parent's pending-transaction list, giving a per-path total order;
+* **write coalescing** — inside one delivery batch (bounded by the SQS
+  ``fifo_batch_limit`` calibration) a user-store write superseded by a
+  later write to the same path is skipped; the corresponding client
+  notifications are held back until the superseding write has landed, so
+  acknowledged data is always readable.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, FrozenSet, Generator, List, Optional, Tuple
 
 from ..cloud.errors import ConditionFailed
 from ..cloud.expressions import Attr, ListAppend, ListRemove, Set
 from ..sim.kernel import AllOf
-from .layout import SYSTEM_NODES, epoch_key
+from .layout import SYSTEM_NODES
 from .model import Response
-from .watches import TriggeredWatch
 
 __all__ = ["LeaderLogic", "RetryBatch"]
 
@@ -39,57 +55,163 @@ class RetryBatch(Exception):
 
 
 class LeaderLogic:
-    """Behaviour of the leader function, bound to one deployment."""
+    """Behaviour of one leader shard's function, bound to one deployment."""
 
-    def __init__(self, service) -> None:
+    def __init__(self, service, shard: int = 0) -> None:
         self.service = service
-        # The single leader instance is sticky (warm sandbox), so it may keep
-        # the epoch counters cached in memory — the `state` argument of
-        # Algorithm 2.  The authoritative copy lives in system storage; the
-        # cache is (re)hydrated lazily after cold starts.
-        self._epoch_cache: Optional[Dict[str, List[str]]] = None
+        self.shard = shard
+        # Leader instances are sticky (warm sandbox); the epoch counters are
+        # cached by the shared ledger and hydrated lazily after cold starts.
+        self._epoch_loaded = False
         self._pending_callbacks: List = []
+        # Per-invocation coalescing state (reset in handler()).
+        self._deferred: List[Tuple[str, Dict[str, Any], Any]] = []
+        self._skipped_images: Dict[str, Tuple[Optional[Dict[str, Any]], int, str, bool]] = {}
 
     # ------------------------------------------------------------ epoch
+    @property
+    def sharded(self) -> bool:
+        return self.service.config.leader_shards > 1
+
     def _load_epoch(self, fctx) -> Generator:
-        if self._epoch_cache is None:
-            cache: Dict[str, List[str]] = {}
-            for region in self.service.config.regions:
-                lst = yield from self.service.epoch_lists[region].get(fctx.ctx)
-                cache[region] = list(lst)
-            self._epoch_cache = cache
+        if not self._epoch_loaded:
+            yield from self.service.epoch_ledger.load(fctx.ctx)
+            self._epoch_loaded = True
         return None
 
     def epoch_snapshot(self, region: str) -> List[str]:
-        assert self._epoch_cache is not None
-        return list(self._epoch_cache[region])
+        return self.service.epoch_ledger.snapshot(region)
 
-    def _epoch_add(self, fctx, watch_ids: List[str]) -> Generator:
-        for region in self.service.config.regions:
-            new = yield from self.service.epoch_lists[region].append(fctx.ctx, watch_ids)
-            self._epoch_cache[region] = list(new)
+    # ------------------------------------------------------------ fences
+    def _wait_fence(self, msg: Dict[str, Any]) -> Generator:
+        """Hold the message until the session's previous write (possibly on
+        another shard) has been applied."""
+        board = self.service.fence_board
+        fence = msg.get("fence")
+        if board is None or fence is None:
+            return None
+        yield from board.wait_turn(msg["session"], fence)
         return None
 
-    def _epoch_remove_process(self, invocation_done, watch_ids: List[str]):
-        """Helper process: wait for the watch fan-out, then clear the epoch
-        entries (the WatchCallback of Algorithm 2, step ➏)."""
-        try:
-            yield invocation_done
-        except Exception:
-            pass  # fan-out retried internally; clear regardless of outcome
-        ctx = self.service.system_ctx
-        for region in self.service.config.regions:
-            new = yield from self.service.epoch_lists[region].remove(ctx, watch_ids)
-            if self._epoch_cache is not None:
-                self._epoch_cache[region] = list(new)
+    def _pass_fence(self, msg: Dict[str, Any]) -> None:
+        # Fences advance as soon as the message's processing is decided —
+        # never deferred, or two shard leaders holding back fences for each
+        # other's batches would deadlock.  A coalesced (skipped) write is
+        # not yet readable when its fence passes; its client *notification*
+        # is what gets deferred until the superseding write lands, and the
+        # client library refuses to start a read before all earlier write
+        # responses arrived, preserving read-your-writes.
+        board = self.service.fence_board
+        fence = msg.get("fence")
+        if board is None or fence is None:
+            return
+        board.advance(msg["session"], fence)
+
+    # ------------------------------------------------------------ coalescing
+    def _coalesce_plan(self, batch: List[Dict[str, Any]]
+                       ) -> Dict[int, FrozenSet[str]]:
+        """Last-writer-wins write coalescing inside one delivery batch.
+
+        Returns ``{message index: paths whose user-store write is skipped}``.
+        A node-image write is superseded by a later node-image write to the
+        same path (the staged images are produced under the node lock, so a
+        later batch position implies a later commit); a parent metadata
+        update is superseded by any later write to the parent's path.
+        """
+        if not self.service.config.coalesce_enabled or len(batch) < 2:
+            return {}
+        last_image: Dict[str, int] = {}
+        last_meta: Dict[str, int] = {}
+        for i, msg in enumerate(batch):
+            last_image[msg["path"]] = i
+            if msg.get("parent"):
+                last_meta[msg["parent"]] = i
+        plan: Dict[int, FrozenSet[str]] = {}
+        for i, msg in enumerate(batch):
+            skip = set()
+            if last_image[msg["path"]] > i:
+                skip.add(msg["path"])
+            parent = msg.get("parent")
+            if parent and max(last_image.get(parent, -1), last_meta[parent]) > i:
+                skip.add(parent)
+            if skip:
+                plan[i] = frozenset(skip)
+        return plan
+
+    def _queue_success(self, fctx, msg: Dict[str, Any], txid: int,
+                       defer: bool) -> Generator:
+        if defer:
+            self._deferred.append(("ok", msg, txid))
+            return None
+        yield from self._notify_success(fctx, msg, txid)
+        return None
+
+    def _queue_failure(self, fctx, msg: Dict[str, Any], error: str,
+                       defer: bool) -> Generator:
+        if defer:
+            self._deferred.append(("fail", msg, error))
+            return None
+        yield from self._notify_failure(msg, error)
+        return None
+
+    def _flush_superseded(self, fctx, paths: List[str]) -> Generator:
+        """A message whose writes would have superseded earlier skipped ones
+        was rejected: replay the newest skipped image for those paths so
+        every acknowledged write is user-visible."""
+        env = fctx.env
+        procs = []
+        for path in paths:
+            entry = self._skipped_images.pop(path, None)
+            if entry is None:
+                continue
+            image, image_txid, op, is_parent = entry
+            for region in self.service.config.regions:
+                procs.append(env.process(
+                    self._replay(fctx, region, path, image, image_txid,
+                                 op, is_parent),
+                    name=f"replay:{path}@{region}"))
+        if procs:
+            yield AllOf(env, procs)
+        return None
+
+    def _replay(self, fctx, region: str, path: str,
+                image: Optional[Dict[str, Any]], image_txid: int,
+                op: str, is_parent: bool) -> Generator:
+        if is_parent and image is not None and not image.get("deleted"):
+            # A cross-shard writer (the root is a shared parent) may have
+            # replicated a newer parent image since this one was skipped;
+            # never clobber it with stale metadata.
+            existing = yield from self.service.user_store.read_node(
+                fctx.ctx, region, path)
+            if existing is not None and \
+                    existing.get("cversion", 0) >= image.get("cversion", 0):
+                return None
+        yield from self._replicate(fctx, region, path, image,
+                                   self.epoch_snapshot(region),
+                                   image_txid, op, is_parent)
         return None
 
     # ------------------------------------------------------------ handler
     def handler(self, fctx, batch: List[Dict[str, Any]]) -> Generator:
+        fctx.crash_point("leader_entry")
         yield from self._load_epoch(fctx)
         self._pending_callbacks = []
-        for msg in batch:
-            yield from self.process(fctx, msg)
+        self._deferred = []
+        self._skipped_images = {}
+        plan = self._coalesce_plan(batch)
+        for i, msg in enumerate(batch):
+            yield from self.process(fctx, msg,
+                                    skip_paths=plan.get(i, frozenset()))
+        # Flush completions of coalesced messages: every superseding write
+        # of this batch has landed by now, so an acknowledged write is
+        # always readable.
+        for kind, msg, payload in self._deferred:
+            if kind == "ok":
+                yield from self._notify_success(fctx, msg, payload)
+            else:
+                yield from self._notify_failure(msg, payload)
+        self._deferred = []
+        self._skipped_images = {}
         # WaitAll(WatchCallback): the instance lingers until all of its
         # notifications are delivered and cleared from the epoch.
         if self._pending_callbacks:
@@ -97,11 +219,22 @@ class LeaderLogic:
         self._pending_callbacks = []
         return None
 
-    def process(self, fctx, msg: Dict[str, Any]) -> Generator:
+    def process(self, fctx, msg: Dict[str, Any],
+                skip_paths: FrozenSet[str] = frozenset()) -> Generator:
         env = fctx.env
         txid = msg["_seq"]
         path = msg["path"]
         sys_store = self.service.system_store
+
+        yield from self._wait_fence(msg)
+        # A message whose write is skipped (superseded within this batch)
+        # must not be acknowledged before the superseding write lands: its
+        # notification is emitted at batch end instead.
+        defer = bool(skip_paths)
+
+        affected = [(path, msg["node_image"], False)]
+        if msg.get("parent"):
+            affected.append((msg["parent"], msg["parent_image"], True))
 
         # ➊ verify commit status
         t0 = env.now
@@ -109,31 +242,53 @@ class LeaderLogic:
         fctx.record("get_node", env.now - t0)
         node = node or {}
         if node.get("applied_tx", 0) >= txid:
-            # Redelivered after a partial batch: already replicated.
-            yield from self._notify_success(fctx, msg, txid)
+            # Redelivered after a partial batch: already replicated (or
+            # skipped — re-record skipped images so a later rejection in
+            # this batch can still replay them).
+            for target_path, image, is_parent in affected:
+                if target_path in skip_paths:
+                    self._skipped_images[target_path] = (image, txid,
+                                                         msg["op"], is_parent)
+            yield from self._queue_success(fctx, msg, txid, defer)
+            self._pass_fence(msg)
             return None
         pending = node.get("transactions", [])
         if txid not in pending:
             committed = yield from self._try_commit(fctx, msg, txid, node)
             if not committed:
+                # The request was never committed and cannot be: reject (Z1
+                # intact).  Earlier writes it would have superseded must
+                # become visible after all.
+                affected_paths = [path] + ([msg["parent"]] if msg.get("parent") else [])
+                yield from self._flush_superseded(fctx, affected_paths)
+                yield from self._queue_failure(fctx, msg, "system_failure", defer)
+                self._pass_fence(msg)
                 return None
         elif pending[0] != txid:
             # Predecessor still unpopped — should not happen under FIFO
             # delivery, but redelivery is always safe.
             raise RetryBatch(f"txid {txid} behind {pending[0]} on {path}")
 
-        affected = [(path, msg["node_image"], False)]
-        if msg.get("parent"):
-            affected.append((msg["parent"], msg["parent_image"], True))
+        # Sharded: a parent may be written by several shard leaders (the
+        # root is every top-level node's parent), so gate its replication
+        # on the parent's pending list — per-path writes then follow commit
+        # order across shards.
+        if self.sharded and msg.get("parent"):
+            yield from self._await_parent_turn(fctx, msg["parent"], txid)
 
         # ➌ replicate to user stores, all regions in parallel
         t0 = env.now
         data_kb = len(msg["node_image"].get("data", b"") or b"") / 1024.0
         yield fctx.compute(base_ms=0.3, payload_kb=data_kb, per_kb_ms=0.12)
         procs = []
-        for region in self.service.config.regions:
-            epoch = self.epoch_snapshot(region)
-            for target_path, image, is_parent in affected:
+        for target_path, image, is_parent in affected:
+            if target_path in skip_paths:
+                self._skipped_images[target_path] = (image, txid, msg["op"],
+                                                     is_parent)
+                continue
+            self._skipped_images.pop(target_path, None)
+            for region in self.service.config.regions:
+                epoch = self.epoch_snapshot(region)
                 procs.append(env.process(
                     self._replicate(fctx, region, target_path, image, epoch,
                                     txid, msg["op"], is_parent),
@@ -144,7 +299,7 @@ class LeaderLogic:
 
         # ➍ watches: query + consume + fan out
         t0 = env.now
-        triggered: List[TriggeredWatch] = []
+        triggered: List = []
         for target_path, _image, is_parent in affected:
             witem = yield from self.service.watch_registry.query(fctx.ctx, target_path)
             found = yield from self.service.watch_registry.consume(
@@ -153,14 +308,16 @@ class LeaderLogic:
         fctx.record("watch_query", env.now - t0)
         if triggered:
             watch_ids = [t.watch_id for t in triggered]
-            yield from self._epoch_add(fctx, watch_ids)
-            done = self.service.invoke_watch_fn(triggered, txid)
-            cb = env.process(self._epoch_remove_process(done, watch_ids),
-                             name="watch-callback")
+            yield from self.service.epoch_ledger.add(fctx.ctx, watch_ids)
+            done = self.service.invoke_watch_fn(triggered, txid, shard=self.shard)
+            cb = env.process(
+                self.service.epoch_ledger.remove_after(
+                    done, watch_ids, self.service.system_ctx),
+                name="watch-callback")
             self._pending_callbacks.append(cb)
 
         # ➎ notify + pop
-        yield from self._notify_success(fctx, msg, txid)
+        yield from self._queue_success(fctx, msg, txid, defer)
         t0 = env.now
         for target_path, _image, _is_parent in affected:
             try:
@@ -175,17 +332,29 @@ class LeaderLogic:
             except ConditionFailed:  # pragma: no cover - concurrent watermark
                 pass
         fctx.record("pop", env.now - t0)
+        self._pass_fence(msg)
         return None
 
     # ------------------------------------------------------------ steps
+    def _await_parent_turn(self, fctx, parent: str, txid: int) -> Generator:
+        """Per-path replication order for cross-shard parents: proceed only
+        when ``txid`` heads the parent's pending list (or was popped by a
+        prior delivery of this message)."""
+        item = yield from self.service.system_store.get_item(
+            fctx.ctx, SYSTEM_NODES, parent)
+        pending = (item or {}).get("transactions", [])
+        if txid in pending and pending[0] != txid:
+            raise RetryBatch(f"txid {txid} behind {pending[0]} on parent {parent}")
+        return None
+
     def _try_commit(self, fctx, msg: Dict[str, Any], txid: int,
                     node: Dict[str, Any]) -> Generator[Any, Any, bool]:
         """Step ➋: commit on behalf of a (presumably dead) follower.
 
         Returns True when the transaction is committed (by us or, as we
         raced, by the recovering follower); False when the request is
-        definitively rejected.  Raises :class:`RetryBatch` while the
-        follower's lease is still live.
+        definitively rejected (the caller notifies the client).  Raises
+        :class:`RetryBatch` while the follower's lease is still live.
         """
         env = fctx.env
         t0 = env.now
@@ -239,10 +408,6 @@ class LeaderLogic:
         if (fresh.get("lock") or {}).get("ts") is not None and \
                 env.now - fresh["lock"]["ts"] < max_hold:
             raise RetryBatch(f"lock re-taken on {msg['path']}")
-        # The request was never committed and cannot be: reject (Z1 intact).
-        yield from self.service.notify_response(Response(
-            session=msg["session"], rid=msg["rid"], ok=False,
-            error="system_failure"))
         return False
 
     def _replicate(self, fctx, region: str, path: str,
@@ -280,4 +445,9 @@ class LeaderLogic:
                 version=image.get("version", 0) if not image.get("deleted") else 0,
             ))
         fctx.record("notify", env.now - t0)
+        return None
+
+    def _notify_failure(self, msg: Dict[str, Any], error: str) -> Generator:
+        yield from self.service.notify_response(Response(
+            session=msg["session"], rid=msg["rid"], ok=False, error=error))
         return None

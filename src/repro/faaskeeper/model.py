@@ -107,6 +107,7 @@ class Request:
     ephemeral: bool = False
     sequence: bool = False
     acl: dict | None = None       # ACL for the created node
+    shard_hint: int | None = None  # client-computed leader shard for the path
 
     @property
     def size_kb(self) -> float:

@@ -4,7 +4,10 @@
 
 * system tables (nodes, state, sessions, watches) in the key-value store;
 * the user store backend of choice, replicated per region;
-* the leader FIFO queue feeding the single leader function;
+* ``leader_shards`` leader FIFO queues, each feeding its own leader
+  function (one queue + one leader — the paper's Algorithm 2 — at the
+  default ``leader_shards=1``); the znode tree is partitioned over the
+  shards by top-level path component;
 * a follower function shared by all per-session FIFO queues;
 * the watch fan-out free function;
 * the scheduled heartbeat function (auto-suspended at zero sessions —
@@ -16,11 +19,12 @@
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..cloud.cloud import Cloud
 from ..cloud.context import OpContext
-from ..primitives import AtomicList, TimedLock
+from ..cloud.queues import SharedSequence
+from ..primitives import TimedLock
 from .client import FaaSKeeperClient
 from .config import FaaSKeeperConfig
 from .follower import FollowerLogic
@@ -33,14 +37,72 @@ from .layout import (
     SYSTEM_WATCHES,
     epoch_key,
     new_system_node,
+    shard_of_path,
     user_image_from_system,
 )
 from .leader import LeaderLogic
 from .model import Response, WatchedEvent
 from .watch_fn import WatchFanoutLogic
-from .watches import WatchRegistry
+from .watches import EpochLedger, WatchRegistry
 
-__all__ = ["FaaSKeeperService"]
+__all__ = ["FaaSKeeperService", "SessionFenceBoard"]
+
+
+class SessionFenceBoard:
+    """Cross-shard per-session write ordering (Z2 for the sharded pipeline).
+
+    The follower stamps each leader message with a session-sequence fence
+    at push time (pushes of one session are serialized by its FIFO queue,
+    so fences follow request order).  A shard leader starts a message only
+    after the session's previous fence was marked applied — by whichever
+    shard owned that write — so a session's writes commit and become
+    user-visible in request order even when they span shards.
+
+    The board is the simulation's stand-in for a conditional check on the
+    session item in system storage; its waits therefore only model the
+    *ordering*, not extra storage traffic.
+    """
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self._issued: Dict[str, int] = {}
+        self._applied: Dict[str, int] = {}
+        self._waiters: Dict[str, List[Tuple[int, Any]]] = {}
+
+    def issue(self, session: str) -> int:
+        nxt = self._issued.get(session, 0) + 1
+        self._issued[session] = nxt
+        return nxt
+
+    def applied(self, session: str) -> int:
+        return self._applied.get(session, 0)
+
+    def wait_turn(self, session: str, fence: int) -> Generator:
+        """Block until fence ``fence - 1`` of ``session`` is applied."""
+        while True:
+            done = self._applied.get(session, 0)
+            if done >= fence - 1:
+                return None
+            event = self.env.event()
+            event.defused()
+            self._waiters.setdefault(session, []).append((fence, event))
+            yield event
+
+    def advance(self, session: str, fence: int) -> None:
+        """Mark ``fence`` applied (idempotent) and wake eligible waiters."""
+        if fence <= self._applied.get(session, 0):
+            return
+        self._applied[session] = fence
+        waiters = self._waiters.pop(session, [])
+        still: List[Tuple[int, Any]] = []
+        for wanted, event in waiters:
+            if fence >= wanted - 1:
+                if not event.triggered:
+                    event.succeed(None)
+            else:
+                still.append((wanted, event))
+        if still:
+            self._waiters[session] = still
 
 
 class FaaSKeeperService:
@@ -58,11 +120,9 @@ class FaaSKeeperService:
             self.system_store.create_table(table)
         self.node_lock = TimedLock(self.system_store, SYSTEM_NODES,
                                    max_hold_ms=config.lock_max_hold_ms)
-        self.epoch_lists: Dict[str, AtomicList] = {
-            region: AtomicList(self.system_store, SYSTEM_STATE,
-                               epoch_key(region), attr="items")
-            for region in config.regions
-        }
+        self.epoch_ledger = EpochLedger(self.system_store, SYSTEM_STATE,
+                                        config.regions)
+        self.epoch_lists = self.epoch_ledger.lists  # legacy alias
         self.watch_registry = WatchRegistry(self.system_store)
 
         # --- user storage ---------------------------------------------------
@@ -71,8 +131,12 @@ class FaaSKeeperService:
         self.user_store = make_user_store(cloud, config)
 
         # --- functions & queues ----------------------------------------------
+        num_shards = config.leader_shards
+        self.fence_board: Optional[SessionFenceBoard] = (
+            SessionFenceBoard(cloud.env) if num_shards > 1 else None)
         self.follower_logic = FollowerLogic(self)
-        self.leader_logic = LeaderLogic(self)
+        self.leader_logics = [LeaderLogic(self, shard=i)
+                              for i in range(num_shards)]
         self.watch_logic = WatchFanoutLogic(self)
         self.heartbeat_logic = HeartbeatLogic(self)
         self.gc_logic = GarbageCollectorLogic(self)
@@ -81,8 +145,15 @@ class FaaSKeeperService:
                          cpu_alloc=config.cpu_alloc, region=config.primary_region)
         self.follower_fn = cloud.deploy_function(
             "fk-follower", self.follower_logic.handler, **fn_kwargs)
-        self.leader_fn = cloud.deploy_function(
-            "fk-leader", self.leader_logic.handler, **fn_kwargs)
+        # Shard 0 keeps the historical names so the shards=1 deployment is
+        # bit-identical to the single-leader original (RNG streams and cost
+        # labels derive from queue/function names).
+        self.leader_fns = [
+            cloud.deploy_function(
+                "fk-leader" if i == 0 else f"fk-leader-{i}",
+                logic.handler, **fn_kwargs)
+            for i, logic in enumerate(self.leader_logics)
+        ]
         self.watch_fn = cloud.deploy_function(
             "fk-watch", self.watch_logic.handler, **fn_kwargs)
         self.heartbeat_fn = cloud.deploy_function(
@@ -90,9 +161,22 @@ class FaaSKeeperService:
         self.gc_fn = cloud.deploy_function(
             "fk-gc", self.gc_logic.handler, **fn_kwargs)
 
-        self.leader_queue = cloud.fifo_queue(
-            "fk-leader-q", label="sqs", max_receive=config.leader_max_receive)
-        self.leader_queue.attach(self.leader_fn, batch_limit=config.leader_batch)
+        # All shard queues draw txids from one sequence, keeping transaction
+        # ids globally comparable (MRD tracking, applied_tx watermarks).
+        txid_sequence = SharedSequence() if num_shards > 1 else None
+        self.leader_queues = []
+        for i, fn in enumerate(self.leader_fns):
+            queue = cloud.fifo_queue(
+                "fk-leader-q" if i == 0 else f"fk-leader-q-{i}",
+                label="sqs", max_receive=config.leader_max_receive,
+                seq_source=txid_sequence)
+            queue.attach(fn, batch_limit=config.leader_batch)
+            queue.on_drop = self._on_leader_drop
+            self.leader_queues.append(queue)
+        #: Writes whose client-stamped shard hint disagreed with the shard
+        #: recomputed from the final path (stale client partition map, or a
+        #: sequence suffix remapping a top-level create).
+        self.shard_hint_mismatches = 0
 
         self.heartbeat_task = cloud.runtime.schedule(
             self.heartbeat_fn, period_ms=config.heartbeat_period_ms)
@@ -113,6 +197,44 @@ class FaaSKeeperService:
     def deploy(cls, cloud: Cloud, config: Optional[FaaSKeeperConfig] = None
                ) -> "FaaSKeeperService":
         return cls(cloud, config or FaaSKeeperConfig())
+
+    # Single-leader aliases (shard 0), kept for the paper-configuration
+    # benchmarks and tests written against the unsharded deployment.
+    @property
+    def leader_fn(self):
+        return self.leader_fns[0]
+
+    @property
+    def leader_queue(self):
+        return self.leader_queues[0]
+
+    @property
+    def leader_logic(self) -> LeaderLogic:
+        return self.leader_logics[0]
+
+    def _on_leader_drop(self, message) -> None:
+        """A leader-queue message exhausted ``leader_max_receive``: its
+        session fence must still advance (or the session's next write on
+        another shard — and with it that whole shard — would wait forever)
+        and its client learns about the failure."""
+        body = message.body
+        if not isinstance(body, dict):  # pragma: no cover - defensive
+            return
+        if self.fence_board is not None and body.get("fence") is not None:
+            self.fence_board.advance(body["session"], body["fence"])
+        client = self.clients.get(body.get("session"))
+        if client is not None and body.get("rid", -1) >= 0:
+            client._deliver_response(Response(
+                session=body["session"], rid=body["rid"], ok=False,
+                error="system_failure"))
+
+    # ------------------------------------------------------------ routing
+    def shard_of(self, path: str) -> int:
+        """Leader shard owning ``path`` (hash of the top-level component)."""
+        return shard_of_path(path, self.config.leader_shards)
+
+    def leader_queue_for(self, path: str):
+        return self.leader_queues[self.shard_of(path)]
 
     def _bootstrap_root(self) -> None:
         """Install "/" in system and user stores (zero-latency, deploy time)."""
@@ -183,10 +305,11 @@ class FaaSKeeperService:
             client._deliver_watch(watch_id, event)
         return None
 
-    def invoke_watch_fn(self, triggered: List, txid: int):
+    def invoke_watch_fn(self, triggered: List, txid: int, shard: int = 0):
         """Free-function invocation of the watch fan-out (leader step ➍)."""
         payload = {
             "txid": txid,
+            "shard": shard,
             "watches": [
                 {
                     "watch_id": t.watch_id,
@@ -230,7 +353,8 @@ class FaaSKeeperService:
             "s3": by.get("s3", 0.0),
             "dynamodb": by.get("dynamodb:system", 0.0) + by.get("dynamodb:user", 0.0),
             "follower": by.get("fn:fk-follower", 0.0),
-            "leader": by.get("fn:fk-leader", 0.0),
+            "leader": sum(v for k, v in by.items()
+                          if k.startswith("fn:fk-leader")),
             "watch": by.get("fn:fk-watch", 0.0),
             "heartbeat": by.get("fn:fk-heartbeat", 0.0),
         }

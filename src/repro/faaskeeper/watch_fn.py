@@ -12,7 +12,8 @@ that completion is what the leader's WatchCallback (epoch cleanup) awaits.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List
+from collections import defaultdict
+from typing import Any, Dict, Generator
 
 from ..sim.kernel import AllOf
 from .model import EventType, WatchedEvent
@@ -21,16 +22,25 @@ __all__ = ["WatchFanoutLogic"]
 
 
 class WatchFanoutLogic:
-    """Behaviour of the watch function, bound to one deployment."""
+    """Behaviour of the watch function, bound to one deployment.
+
+    With a sharded leader pipeline the fan-out is invoked concurrently by
+    several shard leaders; invocations are independent (resource allocation
+    scales with the number of watchers, as in the single-leader design) and
+    the per-shard delivery counters expose the fan-out split for the epoch
+    accounting tests and the sharding benchmarks.
+    """
 
     def __init__(self, service) -> None:
         self.service = service
+        self.deliveries_by_shard: Dict[int, int] = defaultdict(int)
 
     def handler(self, fctx, payload: Dict[str, Any]) -> Generator:
-        """payload = {"txid": int, "watches": [{watch_id, path, event,
-        sessions}, ...]}"""
+        """payload = {"txid": int, "shard": int, "watches": [{watch_id,
+        path, event, sessions}, ...]}"""
         env = fctx.env
         txid = payload["txid"]
+        shard = payload.get("shard", 0)
         deliveries = []
         for watch in payload["watches"]:
             event = WatchedEvent(
@@ -46,4 +56,5 @@ class WatchFanoutLogic:
                 ))
         if deliveries:
             yield AllOf(env, deliveries)
+        self.deliveries_by_shard[shard] += len(deliveries)
         return len(deliveries)

@@ -23,10 +23,12 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from ..cloud.context import OpContext
 from ..cloud.expressions import ListAppend, Remove, SetIfNotExists
 from ..cloud.kvstore import KeyValueStore
-from .layout import SYSTEM_WATCHES
+from ..primitives.atomics import AtomicList
+from .layout import SYSTEM_WATCHES, epoch_key
 from .model import EventType, WatchType
 
-__all__ = ["WatchRegistry", "TriggeredWatch", "triggered_watch_types"]
+__all__ = ["WatchRegistry", "TriggeredWatch", "triggered_watch_types",
+           "EpochLedger"]
 
 _uid = itertools.count(1)
 
@@ -66,6 +68,69 @@ def triggered_watch_types(op: str, is_parent: bool) -> List[Tuple[WatchType, Eve
             (WatchType.CHILDREN, EventType.NODE_DELETED),
         ]
     return []
+
+
+class EpochLedger:
+    """Region epoch counters shared by every leader shard (Section 3.4).
+
+    The single-leader design lets the one warm leader sandbox cache the
+    epoch lists in memory (the ``state`` argument of Algorithm 2).  A
+    sharded pipeline has several leaders mutating the same counters, so
+    the cache moves out of the leader into this ledger: the authoritative
+    copy still lives in system storage (every add/remove is one atomic
+    list write), while the mirror holds the list returned by the latest
+    storage operation and is shared by all shards — the simulation's
+    stand-in for the refresh a real deployment gets from the update's
+    returned item image.
+
+    Each leader still performs its own cold-start hydration reads
+    (:meth:`load`), so the storage traffic of the shards=1 configuration
+    is identical to the original private-cache implementation.
+    """
+
+    def __init__(self, store: KeyValueStore, table: str,
+                 regions: List[str]) -> None:
+        self.regions = list(regions)
+        self.lists: Dict[str, AtomicList] = {
+            region: AtomicList(store, table, epoch_key(region), attr="items")
+            for region in self.regions
+        }
+        self._mirror: Dict[str, List[str]] = {}
+
+    def load(self, ctx: OpContext) -> Generator:
+        """Cold-start hydration: read every region's counter from storage."""
+        for region in self.regions:
+            lst = yield from self.lists[region].get(ctx)
+            # A concurrent leader may have mirrored a newer value while this
+            # read was in flight; the mirror is write-through, so keep it.
+            self._mirror.setdefault(region, list(lst))
+        return None
+
+    def snapshot(self, region: str) -> List[str]:
+        return list(self._mirror[region])
+
+    def add(self, ctx: OpContext, watch_ids: List[str]) -> Generator:
+        for region in self.regions:
+            new = yield from self.lists[region].append(ctx, watch_ids)
+            self._mirror[region] = list(new)
+        return None
+
+    def remove(self, ctx: OpContext, watch_ids: List[str]) -> Generator:
+        for region in self.regions:
+            new = yield from self.lists[region].remove(ctx, watch_ids)
+            self._mirror[region] = list(new)
+        return None
+
+    def remove_after(self, invocation_done, watch_ids: List[str],
+                     ctx: OpContext) -> Generator:
+        """WatchCallback (Algorithm 2, step ➏): wait for the watch fan-out
+        to finish, then clear its entries from every region's counter."""
+        try:
+            yield invocation_done
+        except Exception:
+            pass  # fan-out retried internally; clear regardless of outcome
+        yield from self.remove(ctx, watch_ids)
+        return None
 
 
 class WatchRegistry:
