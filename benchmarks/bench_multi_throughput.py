@@ -1,0 +1,150 @@
+"""Atomic multi() throughput/cost vs sequential single writes.
+
+The paper's cost model (Section 5.3) is dominated by per-invocation
+charges: every single write pays one session-queue message, one follower
+pass and one leader-queue message.  A ``multi()`` amortizes all three —
+N writes ride ONE queue message, ONE follower lock/validate/push/commit
+cycle and ONE leader invocation — so batch commits attack exactly the
+per-request cost and latency floor of the serverless design.
+
+This bench writes the same logical workload (rounds of ``BATCH`` writes
+to distinct nodes from one session) two ways — N pipelined single writes
+vs one multi per round — and reports acknowledged writes/s and metered
+cost per write, for ``leader_shards`` in {1, 4}.
+
+Acceptance gates: a batch of 8 must beat sequential throughput by >= 2x,
+and the shards=1 *single-op* pipeline must reproduce the seed-calibrated
+baseline fingerprint exactly (the envelope redesign routes every write
+through the new submission path — this pins it bit-for-bit).
+
+``FK_BENCH_SMOKE=1`` shrinks the workload for CI smoke runs.
+"""
+
+import os
+
+from repro.analysis import render_table
+from repro.cloud import Cloud
+from repro.faaskeeper import FaaSKeeperConfig, FaaSKeeperService, SetDataOp
+
+SMOKE = os.environ.get("FK_BENCH_SMOKE", "") not in ("", "0")
+BATCH = 8
+ROUNDS = 4 if SMOKE else 24
+PAYLOAD = b"x" * 256
+SEED = 2024
+
+#: Seed-calibrated fingerprint of the single-op write path (seed 4242,
+#: default config == leader_shards=1): per-write txids, final data/stat,
+#: virtual-clock end time and total metered cost.  CI fails when the
+#: shards=1 single-op pipeline deviates from the seed behaviour.
+SINGLE_OP_BASELINE = (
+    (2, 3, 4, 5, 6, 7, 8, 9),   # txids of 8 sequential set_data
+    b"v7",                      # final data
+    8,                          # final version
+    9,                          # final modified_tx
+    11716.984292,               # virtual end time (ms)
+    0.000181997381636,          # total metered cost ($)
+)
+
+
+def _deploy(shards):
+    cloud = Cloud.aws(seed=SEED)
+    service = FaaSKeeperService.deploy(
+        cloud, FaaSKeeperConfig(leader_shards=shards))
+    return cloud, service
+
+
+def _setup_tree(client):
+    client.create("/bench", b"")
+    for i in range(BATCH):
+        client.create(f"/bench/n{i}", b"")
+
+
+def _drain(cloud, futures):
+    deadline = cloud.now + 600_000
+    while cloud.now < deadline and not all(f.done for f in futures):
+        cloud.run(until=cloud.now + 1_000)
+    return sum(1 for f in futures if f.done and f.event.ok)
+
+
+def _run_sequential(shards):
+    """ROUNDS x BATCH pipelined single writes from one session."""
+    cloud, service = _deploy(shards)
+    client = service.connect()
+    _setup_tree(client)
+    start, cost0 = cloud.now, cloud.meter.total
+    futures = [client.set_data_async(f"/bench/n{i}", PAYLOAD)
+               for _ in range(ROUNDS) for i in range(BATCH)]
+    acked = _drain(cloud, futures)
+    elapsed_s = (cloud.now - start) / 1000.0
+    cost = cloud.meter.total - cost0
+    return acked / max(elapsed_s, 1e-9), cost / max(acked, 1)
+
+
+def _run_multi(shards):
+    """The same logical writes, one atomic multi per round."""
+    cloud, service = _deploy(shards)
+    client = service.connect()
+    _setup_tree(client)
+    start, cost0 = cloud.now, cloud.meter.total
+    futures = [client.multi_async(
+        [SetDataOp(f"/bench/n{i}", PAYLOAD) for i in range(BATCH)])
+        for _ in range(ROUNDS)]
+    acked = _drain(cloud, futures) * BATCH
+    elapsed_s = (cloud.now - start) / 1000.0
+    cost = cloud.meter.total - cost0
+    return acked / max(elapsed_s, 1e-9), cost / max(acked, 1)
+
+
+def single_op_fingerprint(**config_kwargs):
+    """Deterministic single-op workload fingerprint (the CI baseline)."""
+    cloud = Cloud.aws(seed=4242)
+    service = FaaSKeeperService.deploy(cloud,
+                                       FaaSKeeperConfig(**config_kwargs))
+    client = service.connect()
+    client.create("/cfg", b"")
+    txids = tuple(client.set_data("/cfg", f"v{i}".encode()).txid
+                  for i in range(8))
+    data, stat = client.get_data("/cfg")
+    cloud.run(until=cloud.now + 10_000)
+    return (txids, data, stat.version, stat.modified_tx,
+            round(cloud.now, 6),
+            round(sum(cloud.meter.by_service().values()), 15))
+
+
+def run():
+    out = {}
+    for shards in (1, 4):
+        seq_tput, seq_cost = _run_sequential(shards)
+        multi_tput, multi_cost = _run_multi(shards)
+        out[shards] = (seq_tput, seq_cost, multi_tput, multi_cost)
+    rows = []
+    for shards, (st, sc, mt, mc) in out.items():
+        rows.append([shards, f"{st:.1f}", f"{mt:.1f}", f"{mt / st:.2f}x",
+                     f"{sc * 1e6:.2f}", f"{mc * 1e6:.2f}",
+                     f"{sc / mc:.2f}x"])
+    print()
+    print(render_table(
+        ["shards", "seq writes/s", f"multi({BATCH}) writes/s", "speedup",
+         "seq $/Mwrite", "multi $/Mwrite", "cost ratio"],
+        rows, title=f"Atomic multi() vs sequential writes (batch={BATCH})"))
+    return out
+
+
+def test_multi_throughput(benchmark):
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    for shards, (seq_tput, seq_cost, multi_tput, multi_cost) in out.items():
+        # the acceptance gate: batches of 8 at >= 2x sequential throughput
+        assert multi_tput >= 2.0 * seq_tput, (shards, multi_tput, seq_tput)
+        # batching must also cut metered cost per write
+        assert multi_cost < seq_cost, (shards, multi_cost, seq_cost)
+
+
+def test_single_op_path_matches_seed_baseline():
+    """The envelope redesign must not move the shards=1 single-op pipeline:
+    same txids, results, virtual-clock timing and metered cost as the seed."""
+    assert single_op_fingerprint() == SINGLE_OP_BASELINE
+    assert single_op_fingerprint(leader_shards=1) == SINGLE_OP_BASELINE
+
+
+if __name__ == "__main__":
+    run()

@@ -12,7 +12,7 @@ Public entry points::
         data, stat = client.get_data("/app")
 """
 
-from .client import FaaSKeeperClient, FKFuture, WriteResult
+from .client import FaaSKeeperClient, FKFuture, Transaction, WriteResult
 from .config import FaaSKeeperConfig, UserStoreKind
 from .exceptions import (
     AccessDeniedError,
@@ -24,9 +24,25 @@ from .exceptions import (
     NoNodeError,
     NotEmptyError,
     RequestFailedError,
+    RolledBackError,
     SessionClosedError,
+    TransactionFailedError,
 )
-from .model import ACL_PERMS, OPEN_ACL, EventType, NodeStat, WatchedEvent, WatchType, acl_allows
+from .model import (
+    ACL_PERMS,
+    OPEN_ACL,
+    CheckOp,
+    CheckResult,
+    CreateOp,
+    DeleteOp,
+    EventType,
+    NodeStat,
+    Operation,
+    SetDataOp,
+    WatchedEvent,
+    WatchType,
+    acl_allows,
+)
 from .service import FaaSKeeperService
 
 __all__ = [
@@ -35,7 +51,14 @@ __all__ = [
     "UserStoreKind",
     "FaaSKeeperClient",
     "FKFuture",
+    "Transaction",
     "WriteResult",
+    "CheckResult",
+    "Operation",
+    "CreateOp",
+    "SetDataOp",
+    "DeleteOp",
+    "CheckOp",
     "NodeStat",
     "ACL_PERMS",
     "OPEN_ACL",
@@ -53,4 +76,6 @@ __all__ = [
     "RequestFailedError",
     "AccessDeniedError",
     "BadArgumentsError",
+    "RolledBackError",
+    "TransactionFailedError",
 ]

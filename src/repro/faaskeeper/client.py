@@ -1,7 +1,10 @@
 """FaaSKeeper client library (Section 3.5), modeled after kazoo's API.
 
 Reads go straight to the region-local user store; writes travel through the
-session's FIFO queue to the follower function.  The library recreates the
+session's FIFO queue to the follower function.  Every write — single ops
+and ``multi()``/``transaction()`` batches alike — is a typed
+:class:`~repro.faaskeeper.model.Operation` envelope riding one generic
+submission pipeline.  The library recreates the
 ordering work a ZooKeeper server would do for the client:
 
 * **FIFO completion** — results are released in request order: a read
@@ -20,12 +23,12 @@ completion chain respectively.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set, Tuple
 
 from ..cloud.context import OpContext
 from .exceptions import (
     AccessDeniedError,
+    BadArgumentsError,
     BadVersionError,
     FaaSKeeperError,
     NoChildrenForEphemeralsError,
@@ -33,10 +36,18 @@ from .exceptions import (
     NoNodeError,
     NotEmptyError,
     RequestFailedError,
+    RolledBackError,
     SessionClosedError,
+    TransactionFailedError,
 )
 from .model import (
+    CheckOp,
+    CreateOp,
+    DeleteOp,
     NodeStat,
+    Operation,
+    SetDataOp,
+    WriteResult,
     acl_allows,
     Request,
     Response,
@@ -45,7 +56,7 @@ from .model import (
     validate_path,
 )
 
-__all__ = ["FaaSKeeperClient", "FKFuture", "WriteResult"]
+__all__ = ["FaaSKeeperClient", "FKFuture", "Transaction", "WriteResult"]
 
 _ERROR_MAP = {
     "no_node": NoNodeError,
@@ -58,16 +69,73 @@ _ERROR_MAP = {
     "system_busy": RequestFailedError,
     "bad_arguments": RequestFailedError,
     "access_denied": AccessDeniedError,
+    "rolled_back": RolledBackError,
 }
 
 
-@dataclass(frozen=True)
-class WriteResult:
-    """Outcome of a committed write."""
+def _error_for(code: str, context: str) -> FaaSKeeperError:
+    return _ERROR_MAP.get(code, RequestFailedError)(f"{context}: {code}")
 
-    path: str
-    txid: int
-    version: int
+
+class Transaction:
+    """Kazoo-style transaction builder: queue ops, then ``commit()``.
+
+    All queued operations commit atomically — one queue message, one
+    follower validation pass, one leader batch — or none do.  ``commit()``
+    returns one result per op (kazoo semantics: failures come back as
+    exception *instances* in the list, nothing is raised); use
+    :meth:`FaaSKeeperClient.multi` for the raising variant.  The builder
+    also works as a context manager, committing on clean exit — in that
+    form an abort raises :class:`TransactionFailedError` (there is no
+    results list to hand back, and a guarded swap must not fail silently).
+    """
+
+    def __init__(self, client: "FaaSKeeperClient") -> None:
+        self._client = client
+        self.operations: List[Operation] = []
+        self._committed = False
+
+    # ------------------------------------------------------------ builders
+    def create(self, path: str, data: bytes = b"", ephemeral: bool = False,
+               sequence: bool = False, acl: Optional[dict] = None) -> "Transaction":
+        self.operations.append(CreateOp(path, bytes(data), ephemeral, sequence, acl))
+        return self
+
+    def set_data(self, path: str, data: bytes, version: int = -1) -> "Transaction":
+        self.operations.append(SetDataOp(path, bytes(data), version))
+        return self
+
+    def delete(self, path: str, version: int = -1) -> "Transaction":
+        self.operations.append(DeleteOp(path, version))
+        return self
+
+    def check(self, path: str, version: int = -1) -> "Transaction":
+        self.operations.append(CheckOp(path, version))
+        return self
+
+    # ------------------------------------------------------------ commit
+    def commit_async(self) -> "FKFuture":
+        if self._committed:
+            raise BadArgumentsError("transaction already committed")
+        future = self._client.multi_async(self.operations)
+        self._committed = True  # only once actually submitted
+        return future
+
+    def commit(self) -> List[Any]:
+        """Commit; per-op results with failures embedded, kazoo-style."""
+        try:
+            return self.commit_async().wait()
+        except TransactionFailedError as exc:
+            return exc.results
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is None and self.operations and not self._committed:
+            # Unlike commit(), the with-form cannot hand embedded results
+            # back to the caller, so a rolled-back batch must raise.
+            self.commit_async().wait()
 
 
 class FKFuture:
@@ -194,15 +262,32 @@ class FaaSKeeperClient:
         """Leader shard this client routes writes for ``path`` to."""
         return self.service.shard_of(path)
 
+    def _multi_failure(self, request: Request,
+                       response: Response) -> TransactionFailedError:
+        """Map a failed multi response to per-op typed errors: the culprit's
+        own error, RolledBackError for the members undone with it."""
+        results: List[Any] = []
+        if response.results:
+            for res in response.results:
+                results.append(_error_for(
+                    res.get("error", response.error or "system_failure"),
+                    f"{res.get('op')} {res.get('path')}"))
+        else:
+            # The envelope never reached validation (queue drop, leader
+            # rejection): every member shares the envelope's failure.
+            for d in request.ops or []:
+                results.append(_error_for(
+                    response.error or "system_failure",
+                    f"{d.get('op')} {d.get('path')}"))
+        return TransactionFailedError(
+            f"multi of {len(request.ops or [])} ops: {response.error}",
+            results=results)
+
     def _write_flow(self, request: Request, internal=None) -> Generator:
+        """The one submission pipeline every write envelope rides."""
         if internal is None:
             internal = self._prepare_write(request)
-        body = {
-            "session": request.session, "rid": request.rid, "op": request.op,
-            "path": request.path, "data": request.data,
-            "version": request.version, "ephemeral": request.ephemeral,
-            "sequence": request.sequence, "acl": request.acl,
-        }
+        body = request.to_body()
         if self.service.config.leader_shards > 1:
             # Route annotation for the sharded pipeline: the client library
             # owns the partition map (hash of the top-level component) and
@@ -210,8 +295,13 @@ class FaaSKeeperClient:
             # by the shard it recomputes from the final path and counts
             # disagreeing hints (``service.shard_hint_mismatches``) — e.g.
             # a stale client map, or a sequence suffix remapping a
-            # top-level create.
-            body["shard_hint"] = self.shard_for(request.path)
+            # top-level create.  A multi is stamped with its coordinator
+            # shard (lowest shard id among the written paths).
+            if request.ops is not None:
+                body["shard_hint"] = self.service.multi_shard_of(
+                    request.write_paths())
+            else:
+                body["shard_hint"] = self.shard_for(request.path)
         # The client's single send thread (Section 3.5): submissions of one
         # session enter the queue strictly in request order (Z2), while later
         # pipeline stages still overlap.
@@ -229,54 +319,73 @@ class FaaSKeeperClient:
                 sent.succeed(None)
         response: Response = yield internal
         if not response.ok:
-            raise _ERROR_MAP.get(response.error, RequestFailedError)(
-                f"{request.op} {request.path}: {response.error}")
+            if request.op == "multi":
+                raise self._multi_failure(request, response)
+            raise _error_for(response.error, f"{request.op} {request.path}")
         return response
+
+    def _submit_write(self, op: Operation) -> FKFuture:
+        """Generic one-op submission: validate, wrap in a one-element
+        envelope, ride the pipeline, map the typed result."""
+        self._check_open()
+        op.validate()
+        req = Request.from_operation(self.session_id, self._next_rid(), op)
+        internal = self._prepare_write(req)
+
+        def flow():
+            response = yield from self._write_flow(req, internal)
+            return op.result_from_response(response)
+
+        return self._chained(flow())
 
     def create_async(self, path: str, data: bytes = b"",
                      ephemeral: bool = False, sequence: bool = False,
                      acl: Optional[dict] = None) -> FKFuture:
-        self._check_open()
-        validate_path(path, allow_root=False)
-        req = Request(session=self.session_id, rid=self._next_rid(),
-                      op="create", path=path, data=bytes(data),
-                      ephemeral=ephemeral, sequence=sequence, acl=acl)
-        internal = self._prepare_write(req)
-
-        def flow():
-            response = yield from self._write_flow(req, internal)
-            return response.path
-
-        return self._chained(flow())
+        return self._submit_write(CreateOp(path, bytes(data), ephemeral,
+                                           sequence, acl))
 
     def set_data_async(self, path: str, data: bytes,
                        version: int = -1) -> FKFuture:
+        return self._submit_write(SetDataOp(path, bytes(data), version))
+
+    def delete_async(self, path: str, version: int = -1) -> FKFuture:
+        return self._submit_write(DeleteOp(path, version))
+
+    # ------------------------------------------------------------ multi
+    def multi_async(self, ops: Iterable[Operation]) -> FKFuture:
+        """Submit an atomic transaction (ZooKeeper ``multi`` semantics).
+
+        All member ops commit under one transaction id or none do.  The
+        future resolves to one typed result per op, in op order; on failure
+        it raises :class:`TransactionFailedError` whose ``results`` carry
+        the per-op typed errors.
+        """
         self._check_open()
-        validate_path(path)
-        req = Request(session=self.session_id, rid=self._next_rid(),
-                      op="set_data", path=path, data=bytes(data),
-                      version=version)
+        ops = list(ops)
+        if not ops:
+            raise BadArgumentsError("multi needs at least one operation")
+        for op in ops:
+            if not isinstance(op, Operation):
+                raise BadArgumentsError(f"not an Operation: {op!r}")
+            op.validate()
+        req = Request.from_operations(self.session_id, self._next_rid(), ops)
         internal = self._prepare_write(req)
 
         def flow():
             response = yield from self._write_flow(req, internal)
-            return WriteResult(path=response.path or path, txid=response.txid,
-                               version=response.version)
+            return [op.result_from_multi(res)
+                    for op, res in zip(ops, response.results or [])]
 
         return self._chained(flow())
 
-    def delete_async(self, path: str, version: int = -1) -> FKFuture:
-        self._check_open()
-        validate_path(path, allow_root=False)
-        req = Request(session=self.session_id, rid=self._next_rid(),
-                      op="delete", path=path, version=version)
-        internal = self._prepare_write(req)
+    def multi(self, ops: Iterable[Operation]) -> List[Any]:
+        """Atomically commit ``ops``; returns per-op typed results or raises
+        :class:`TransactionFailedError` (no op applied)."""
+        return self.multi_async(ops).wait()
 
-        def flow():
-            yield from self._write_flow(req, internal)
-            return None
-
-        return self._chained(flow())
+    def transaction(self) -> Transaction:
+        """Kazoo-style transaction builder bound to this session."""
+        return Transaction(self)
 
     # ------------------------------------------------------------ read ops
     def _register_watch(self, path: str, wtype: WatchType,
@@ -422,8 +531,9 @@ class FaaSKeeperClient:
         """
         return self.create_async(path, data, ephemeral, sequence, acl).wait()
 
-    def get_acl(self, path: str) -> Optional[dict]:
-        """Read a node's ACL (None = open access)."""
+    def get_acl_async(self, path: str) -> FKFuture:
+        self._check_open()
+        validate_path(path)
         barrier = self._read_barrier()
 
         def flow():
@@ -432,7 +542,11 @@ class FaaSKeeperClient:
                 raise NoNodeError(path)
             return image.get("acl")
 
-        return self._chained(flow()).wait()
+        return self._chained(flow())
+
+    def get_acl(self, path: str) -> Optional[dict]:
+        """Read a node's ACL (None = open access)."""
+        return self.get_acl_async(path).wait()
 
     def set_data(self, path: str, data: bytes, version: int = -1) -> WriteResult:
         """Replace node data, optionally conditional on ``version``."""

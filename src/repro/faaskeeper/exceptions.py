@@ -13,6 +13,8 @@ __all__ = [
     "RequestFailedError",
     "AccessDeniedError",
     "BadArgumentsError",
+    "RolledBackError",
+    "TransactionFailedError",
 ]
 
 
@@ -54,3 +56,25 @@ class AccessDeniedError(FaaSKeeperError):
 
 class BadArgumentsError(FaaSKeeperError):
     """Malformed path or arguments."""
+
+
+class RolledBackError(FaaSKeeperError):
+    """An op inside a failed multi that was rolled back with the batch.
+
+    Mirrors ZooKeeper's ``RUNTIMEINCONSISTENCY``/rolled-back marker: this
+    op did not fail by itself — a sibling did, and the transaction's
+    all-or-nothing guarantee undid (or never applied) this one.
+    """
+
+
+class TransactionFailedError(FaaSKeeperError):
+    """A multi()/transaction() aborted: no member op was committed.
+
+    ``results`` lists one outcome per submitted op, in op order — the
+    culprit's typed error (e.g. :class:`BadVersionError`) and
+    :class:`RolledBackError` for the members that were rolled back with it.
+    """
+
+    def __init__(self, message: str, results: list | None = None) -> None:
+        super().__init__(message)
+        self.results = list(results or [])

@@ -29,14 +29,84 @@ from ..cloud.expressions import (
 )
 from ..cloud.errors import ConditionFailed
 from ..primitives.locks import LockHandle
+from .exceptions import BadArgumentsError
 from .layout import SYSTEM_NODES, SYSTEM_SESSIONS, new_system_node
-from .model import Request, Response, acl_allows, parent_path, node_name
+from .model import (
+    Request,
+    Response,
+    acl_allows,
+    node_name,
+    operation_from_dict,
+    parent_path,
+)
 
-__all__ = ["FollowerLogic"]
+__all__ = ["FollowerLogic", "merge_multi_commit"]
 
 #: Lock-acquisition retry policy for contended nodes.
 LOCK_RETRIES = 60
 LOCK_BACKOFF_MS = 30.0
+
+
+def merge_multi_commit(subs: List[Dict[str, Any]]):
+    """Fold a multi's staged sub-operations into one per-path update record.
+
+    A storage transaction may touch each item only once, so every path's
+    attribute sets are merged in op order (later sets win — the staged
+    values were produced against the running overlay, so the last one is
+    the final state).  Returns ``(order, merged)`` where ``order`` lists
+    the touched paths in first-touch order and ``merged[path]`` holds::
+
+        {"sets":    {attr: value},   # merged attribute sets
+         "node":    bool,            # written as a node (gets txid stamps)
+         "created": bool,            # final state is a node created here
+         "check":   bool,            # touched by a check op
+         "prev_version":         data version the FIRST touch observed,
+         "parent_prev_cversion": child-list version the first parent
+                                 touch observed}
+
+    The ``prev_*`` fields are storage preconditions (TryCommit guards), so
+    only the path's FIRST touch may contribute them: later members observe
+    overlay state that does not exist in storage yet (a create's follower
+    leaves ``prev_version`` None — the parent's child-list guard covers it).
+
+    Shared by the follower (commit ➃) and the leader (TryCommit on behalf
+    of a dead follower), so both sides apply the identical transaction.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    touched: set = set()
+
+    def record(path: str) -> Dict[str, Any]:
+        if path not in merged:
+            merged[path] = {"sets": {}, "node": False, "created": False,
+                            "check": False, "prev_version": None,
+                            "parent_prev_cversion": None}
+            order.append(path)
+        return merged[path]
+
+    for sub in subs:
+        rec = record(sub["path"])
+        if sub["path"] not in touched:
+            touched.add(sub["path"])
+            rec["prev_version"] = sub.get("prev_version")
+        if sub["op"] == "check":
+            rec["check"] = True
+            continue
+        rec["node"] = True
+        rec["sets"].update(sub["commit_sets"])
+        if sub["op"] == "create":
+            rec["created"] = True
+        elif sub["op"] == "delete":
+            rec["created"] = False
+        if sub.get("parent"):
+            prec = record(sub["parent"])
+            prec["sets"].update(sub["parent_sets"])
+            if prec["parent_prev_cversion"] is None and not prec["created"]:
+                # Only store-valid observations become guards: a parent
+                # created earlier in this batch reports its overlay
+                # cversion, which no storage item carries yet.
+                prec["parent_prev_cversion"] = sub["parent_prev_cversion"]
+    return order, merged
 
 
 class FollowerLogic:
@@ -56,7 +126,7 @@ class FollowerLogic:
     def process(self, fctx, req: Request, redelivered: bool = False) -> Generator:
         if req.op == "close_session":
             yield from self._close_session(fctx, req)
-        elif req.op in ("create", "set_data", "delete"):
+        elif req.op in ("create", "set_data", "delete", "multi"):
             if redelivered and req.rid >= 0:
                 # A redelivered request may already be committed (the crash
                 # happened after step ➃): the per-session watermark decides.
@@ -64,7 +134,10 @@ class FollowerLogic:
                     fctx.ctx, SYSTEM_SESSIONS, req.session)
                 if sess is not None and sess.get("last_rid", 0) >= req.rid:
                     return None  # committed; the leader will notify
-            yield from self._write_op(fctx, req)
+            if req.op == "multi":
+                yield from self._multi_op(fctx, req)
+            else:
+                yield from self._write_op(fctx, req)
         else:  # pragma: no cover - defensive
             yield from self.service.notify_response(
                 Response(session=req.session, rid=req.rid, ok=False,
@@ -217,6 +290,199 @@ class FollowerLogic:
         # user-visible store and notifies the client.
         return None
 
+    # ------------------------------------------------------------ multi
+    def _fail_multi(self, req: Request, error: str,
+                    culprit: Optional[int] = None) -> Generator:
+        """All-or-nothing rejection: per-op typed outcomes, nothing commits.
+        ``culprit`` is the failing op's index (None = envelope-wide error);
+        the other members report ``rolled_back``."""
+        results = []
+        for i, d in enumerate(req.ops or []):
+            code = error if culprit is None or i == culprit else "rolled_back"
+            results.append({"ok": False, "op": d.get("op"),
+                            "path": d.get("path"), "error": code})
+        yield from self.service.notify_response(
+            Response(session=req.session, rid=req.rid, ok=False, error=error,
+                     results=results))
+        return None
+
+    def _multi_op(self, fctx, req: Request) -> Generator:
+        """Atomic transaction (Algorithm 1 generalized to an op batch).
+
+        The follower's four steps run once for the whole envelope: lock
+        every touched node, validate-and-stage each member against a
+        running overlay (later members see earlier members' staged
+        effects, as in ZooKeeper's multi), push ONE message to the
+        coordinator shard's leader queue (one txid, one leader invocation
+        for N writes — the cost lever of the paper's per-invocation
+        model), and commit everything in ONE storage transaction fused
+        with the lock releases (Z1 for the whole batch).
+        """
+        env = fctx.env
+        try:
+            ops = [operation_from_dict(d) for d in (req.ops or [])]
+        except BadArgumentsError:
+            yield from self._fail_multi(req, "bad_arguments")
+            return None
+        if not ops:
+            yield from self._fail_multi(req, "bad_arguments")
+            return None
+
+        # ➀ lock every touched node (parents too for create/delete)
+        lock_paths = []
+        for i, op in enumerate(ops):
+            if op.OP in ("create", "delete"):
+                if op.path == "/":
+                    yield from self._fail_multi(req, "bad_arguments", culprit=i)
+                    return None
+                lock_paths.append(parent_path(op.path))
+            lock_paths.append(op.path)
+        t0 = env.now
+        handles = yield from self._acquire(fctx, lock_paths)
+        fctx.record("lock", env.now - t0)
+        if handles is None:
+            yield from self._fail_multi(req, "system_busy")
+            return None
+
+        # ➁ validate + stage against the overlay of locked images
+        overlay = {p: dict(h.item or {}) for p, h in handles.items()}
+        subs: List[Dict[str, Any]] = []
+        results: List[Dict[str, Any]] = []
+        session_ops: List[tuple] = []
+        for i, op in enumerate(ops):
+            needs_parent = op.OP in ("create", "delete")
+            d = op.to_dict()
+            sub_req = Request(session=req.session, rid=req.rid, op=op.OP,
+                              path=op.path, data=d.get("data", b""),
+                              version=d.get("version", -1),
+                              ephemeral=d.get("ephemeral", False),
+                              sequence=d.get("sequence", False),
+                              acl=d.get("acl"))
+            node = overlay.get(op.path, {})
+            parent = overlay.get(parent_path(op.path)) if needs_parent else None
+            plan = self._validate_and_stage(sub_req, node, parent)
+            if isinstance(plan, str):  # error code: roll the batch back
+                yield from self._release_all(fctx, handles)
+                yield from self._fail_multi(req, plan, culprit=i)
+                return None
+            final_path, msg, commit_sets, parent_sets, op_session_ops = plan
+            session_ops.extend(op_session_ops)
+            if msg is None:  # check op: a guard, nothing staged
+                subs.append({"op": "check", "path": op.path,
+                             "prev_version": node.get("version", 0)})
+                results.append({"op": "check", "path": op.path,
+                                "version": node.get("version", 0)})
+                continue
+            overlay.setdefault(final_path, {}).update(commit_sets)
+            if needs_parent:
+                overlay[parent_path(final_path)].update(parent_sets)
+            subs.append(msg)
+            results.append({"op": op.OP, "path": final_path,
+                            "version": commit_sets.get("version", 0)})
+        fctx.crash_point("after_validate")
+
+        # A sequential create staged a suffixed final path: it needs its
+        # own lock before commit (the prefix lock is released at commit).
+        for sub in subs:
+            if sub["op"] == "create" and sub["path"] not in handles:
+                handle = yield from self.service.node_lock.acquire(
+                    fctx.ctx, sub["path"])
+                if handle is None:  # pragma: no cover - fresh path, never held
+                    yield from self._release_all(fctx, handles)
+                    yield from self._fail_multi(req, "system_busy")
+                    return None
+                handles[sub["path"]] = handle
+
+        order, merged = merge_multi_commit(subs)
+        commit_paths = [p for p in order
+                        if merged[p]["node"] or merged[p]["sets"]]
+
+        # A guard-only multi (checks alone) never reaches the leader:
+        # nothing replicates, so verify under the locks, move the dedup
+        # watermark and answer directly from the follower.
+        if not commit_paths:
+            ops_list = [(SYSTEM_NODES, path, [Remove("lock")],
+                         Attr("lock.ts") == handle.timestamp)
+                        for path, handle in handles.items()]
+            if req.rid >= 0:
+                ops_list.append((SYSTEM_SESSIONS, req.session,
+                                 [Set("last_rid", req.rid)], None))
+            try:
+                yield from self.service.system_store.transact_update(
+                    fctx.ctx, ops_list)
+            except ConditionFailed:
+                yield from self._fail_multi(req, "system_failure")
+                return None
+            yield from self.service.notify_response(
+                Response(session=req.session, rid=req.rid, ok=True,
+                         results=[dict(r, ok=True, txid=0) for r in results]))
+            return None
+
+        primary = commit_paths[0]
+
+        # ➂ ONE push to the coordinator shard's leader queue: one txid and
+        # one leader invocation amortized over the whole batch
+        t0 = env.now
+        yield fctx.compute(base_ms=0.2, payload_kb=req.size_kb, per_kb_ms=0.05)
+        written = [p for p in order if merged[p]["node"]]
+        leader_msg = {
+            "session": req.session, "rid": req.rid, "op": "multi",
+            "path": primary, "parent": None,
+            "subs": subs, "results": results, "commit_paths": commit_paths,
+        }
+        board = self.service.fence_board
+        shard = self.service.multi_shard_of(written)
+        if board is not None:
+            leader_msg["fence"] = board.issue(req.session)
+            leader_msg["shard"] = shard
+            if req.shard_hint is not None and req.shard_hint != shard:
+                self.service.shard_hint_mismatches += 1
+        txid = yield from self.service.leader_queues[shard].send(
+            fctx.ctx, leader_msg, group="updates", size_kb=req.size_kb)
+        fctx.record("push", env.now - t0)
+        fctx.crash_point("after_push")
+
+        # ➃ ONE atomic commit: every touched path plus the session
+        # watermark, all conditioned on the lock leases (batch-wide Z1)
+        t0 = env.now
+        ops_list = []
+        for path in order:
+            rec = merged[path]
+            handle = handles[path]
+            updates = [Set(k, v) for k, v in rec["sets"].items()]
+            if rec["node"]:
+                updates.append(Set("modified_tx", txid))
+                if rec["created"]:
+                    updates.append(Set("created_tx", txid))
+            if path in commit_paths:
+                updates.append(ListAppend("transactions", [txid]))
+            updates.append(Remove("lock"))
+            ops_list.append((SYSTEM_NODES, path, updates,
+                             Attr("lock.ts") == handle.timestamp))
+        for path, handle in handles.items():
+            if path not in merged:  # e.g. a sequence create's prefix lock
+                ops_list.append((SYSTEM_NODES, path, [Remove("lock")],
+                                 Attr("lock.ts") == handle.timestamp))
+        session_updates: Dict[str, List] = {}
+        for _table, key, updates in session_ops:
+            session_updates.setdefault(key, []).extend(updates)
+        if req.rid >= 0:
+            session_updates.setdefault(req.session, []).append(
+                Set("last_rid", req.rid))
+        for key, updates in session_updates.items():
+            ops_list.append((SYSTEM_SESSIONS, key, updates, None))
+        try:
+            yield from self.service.system_store.transact_update(
+                fctx.ctx, ops_list)
+        except ConditionFailed:
+            # A lease expired mid-batch: the leader decides (TryCommit or
+            # reject) — never a partial commit (Z1).
+            fctx.record("commit", env.now - t0)
+            return None
+        fctx.record("commit", env.now - t0)
+        fctx.crash_point("after_commit")
+        return None
+
     # ------------------------------------------------------------ staging
     def _validate_and_stage(
         self, req: Request,
@@ -224,7 +490,17 @@ class FollowerLogic:
         parent: Optional[Dict[str, Any]],
     ):
         """Returns an error code or (final_path, leader_msg, node_sets,
-        parent_sets, session_ops)."""
+        parent_sets, session_ops).  A ``check`` op (multi-only guard)
+        returns a None leader_msg: it stages nothing."""
+        if req.op == "check":
+            if not self._node_exists(node):
+                return "no_node"
+            if not acl_allows(node.get("acl"), "read", req.session):
+                return "access_denied"
+            if req.version >= 0 and node.get("version", 0) != req.version:
+                return "bad_version"
+            return req.path, None, {}, {}, []
+
         if req.op == "set_data":
             if not self._node_exists(node):
                 return "no_node"

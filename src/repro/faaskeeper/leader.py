@@ -44,14 +44,67 @@ from typing import Any, Dict, FrozenSet, Generator, List, Optional, Tuple
 from ..cloud.errors import ConditionFailed
 from ..cloud.expressions import Attr, ListAppend, ListRemove, Set
 from ..sim.kernel import AllOf
+from .follower import merge_multi_commit
 from .layout import SYSTEM_NODES
 from .model import Response
 
-__all__ = ["LeaderLogic", "RetryBatch"]
+__all__ = ["LeaderLogic", "RetryBatch", "multi_replication_plan"]
 
 
 class RetryBatch(Exception):
     """Raised to make the FIFO queue redeliver the current batch."""
+
+
+def multi_replication_plan(subs: List[Dict[str, Any]]
+                           ) -> List[Tuple[str, Dict[str, Any], bool, str]]:
+    """Per-path final user-store actions of a committed multi.
+
+    Several members of one transaction may touch the same path (set after
+    set, create then set, a node that is also a sibling's parent): the
+    user store needs exactly one write per path, carrying the LAST staged
+    node image merged with any later parent-side metadata.  Staged images
+    are produced against the follower's running overlay, so the last image
+    for a path already reflects every earlier member's effect.
+
+    Returns ``[(path, image, is_parent, op)]`` in first-touch order;
+    ``op == "create"`` marks a node whose final state was created by this
+    multi (the leader stamps ``created_tx``), ``is_parent`` marks
+    metadata-only updates.
+    """
+    order: List[str] = []
+    state: Dict[str, List[Any]] = {}  # path -> [image, is_parent, op]
+    for sub in subs:
+        if sub["op"] == "check":
+            continue
+        entries = [(sub["path"], sub["node_image"], False)]
+        if sub.get("parent"):
+            entries.append((sub["parent"], sub["parent_image"], True))
+        for path, image, is_parent in entries:
+            cur = state.get(path)
+            if cur is None:
+                order.append(path)
+                state[path] = [dict(image), is_parent, sub["op"]]
+            elif not is_parent:
+                if image.get("deleted"):
+                    state[path] = [dict(image), False, "delete"]
+                else:
+                    was_created = (not cur[1] and cur[2] == "create"
+                                   and not cur[0].get("deleted"))
+                    op = ("create" if sub["op"] == "create" or was_created
+                          else sub["op"])
+                    state[path] = [dict(image), False, op]
+            else:
+                img, was_parent, op = cur
+                if was_parent or img.get("deleted"):
+                    state[path] = [dict(image), True, sub["op"]]
+                else:
+                    # Graft the newer child-list metadata onto the member's
+                    # node image: the full image (with data) still wins.
+                    img = dict(img)
+                    img["children"] = list(image.get("children", []))
+                    img["cversion"] = image.get("cversion", 0)
+                    state[path] = [img, False, op]
+    return [(p, state[p][0], state[p][1], state[p][2]) for p in order]
 
 
 class LeaderLogic:
@@ -108,6 +161,36 @@ class LeaderLogic:
         board.advance(msg["session"], fence)
 
     # ------------------------------------------------------------ coalescing
+    @staticmethod
+    def _write_entries(msg: Dict[str, Any]) -> List[Tuple[str, bool]]:
+        """``(path, is_meta_only)`` pairs a message writes to the user
+        store.  A multi contributes one entry per touched path (so it both
+        supersedes earlier pending writes to the same paths and can itself
+        be superseded by later ones); derived from the subs' path fields
+        alone — the full image plan is only built when a multi is actually
+        processed."""
+        if msg["op"] != "multi":
+            entries = [(msg["path"], False)]
+            if msg.get("parent"):
+                entries.append((msg["parent"], True))
+            return entries
+        order: List[str] = []
+        seen = set()
+        node_paths = set()
+        for sub in msg["subs"]:
+            if sub["op"] == "check":
+                continue
+            for path, is_node in ((sub["path"], True),
+                                  (sub.get("parent"), False)):
+                if not path:
+                    continue
+                if path not in seen:
+                    seen.add(path)
+                    order.append(path)
+                if is_node:
+                    node_paths.add(path)
+        return [(path, path not in node_paths) for path in order]
+
     def _coalesce_plan(self, batch: List[Dict[str, Any]]
                        ) -> Dict[int, FrozenSet[str]]:
         """Last-writer-wins write coalescing inside one delivery batch.
@@ -120,20 +203,21 @@ class LeaderLogic:
         """
         if not self.service.config.coalesce_enabled or len(batch) < 2:
             return {}
+        entries = [self._write_entries(msg) for msg in batch]
         last_image: Dict[str, int] = {}
         last_meta: Dict[str, int] = {}
-        for i, msg in enumerate(batch):
-            last_image[msg["path"]] = i
-            if msg.get("parent"):
-                last_meta[msg["parent"]] = i
+        for i, msg_entries in enumerate(entries):
+            for path, is_meta in msg_entries:
+                (last_meta if is_meta else last_image)[path] = i
         plan: Dict[int, FrozenSet[str]] = {}
-        for i, msg in enumerate(batch):
+        for i, msg_entries in enumerate(entries):
             skip = set()
-            if last_image[msg["path"]] > i:
-                skip.add(msg["path"])
-            parent = msg.get("parent")
-            if parent and max(last_image.get(parent, -1), last_meta[parent]) > i:
-                skip.add(parent)
+            for path, is_meta in msg_entries:
+                if not is_meta and last_image[path] > i:
+                    skip.add(path)
+                if is_meta and max(last_image.get(path, -1),
+                                   last_meta[path]) > i:
+                    skip.add(path)
             if skip:
                 plan[i] = frozenset(skip)
         return plan
@@ -221,6 +305,9 @@ class LeaderLogic:
 
     def process(self, fctx, msg: Dict[str, Any],
                 skip_paths: FrozenSet[str] = frozenset()) -> Generator:
+        if msg["op"] == "multi":
+            yield from self._process_multi(fctx, msg, skip_paths)
+            return None
         env = fctx.env
         txid = msg["_seq"]
         path = msg["path"]
@@ -274,7 +361,7 @@ class LeaderLogic:
         # on the parent's pending list — per-path writes then follow commit
         # order across shards.
         if self.sharded and msg.get("parent"):
-            yield from self._await_parent_turn(fctx, msg["parent"], txid)
+            yield from self._await_path_turn(fctx, msg["parent"], txid)
 
         # ➌ replicate to user stores, all regions in parallel
         t0 = env.now
@@ -335,16 +422,202 @@ class LeaderLogic:
         self._pass_fence(msg)
         return None
 
+    # ------------------------------------------------------------ multi
+    def _process_multi(self, fctx, msg: Dict[str, Any],
+                       skip_paths: FrozenSet[str]) -> Generator:
+        """Algorithm 2 for an atomic batch: verify the batch txid once,
+        gate every touched path, replicate per-path final images, fire
+        watches exactly once per instance with the batch txid, answer with
+        one response carrying per-op results, and pop the txid everywhere.
+        """
+        env = fctx.env
+        txid = msg["_seq"]
+        primary = msg["path"]
+        sys_store = self.service.system_store
+
+        yield from self._wait_fence(msg)
+        defer = bool(skip_paths)
+        affected = multi_replication_plan(msg["subs"])
+        commit_paths = msg["commit_paths"]
+
+        # ➊ verify commit status on the primary path: the batch committed
+        # atomically, so one path's watermark speaks for all of it
+        t0 = env.now
+        node = yield from sys_store.get_item(fctx.ctx, SYSTEM_NODES, primary)
+        fctx.record("get_node", env.now - t0)
+        node = node or {}
+        if node.get("applied_tx", 0) >= txid:
+            # Redelivered after a partial batch: already replicated.
+            for path, image, is_parent, op in affected:
+                if path in skip_paths:
+                    self._skipped_images[path] = (image, txid, op, is_parent)
+            yield from self._queue_success(fctx, msg, txid, defer)
+            self._pass_fence(msg)
+            return None
+        pending = node.get("transactions", [])
+        if txid not in pending:
+            committed = yield from self._try_commit_multi(fctx, msg, txid)
+            if not committed:
+                yield from self._flush_superseded(
+                    fctx, [path for path, _image, _meta, _op in affected])
+                yield from self._queue_failure(fctx, msg, "system_failure", defer)
+                self._pass_fence(msg)
+                return None
+        elif pending[0] != txid:
+            raise RetryBatch(f"txid {txid} behind {pending[0]} on {primary}")
+
+        # A cross-shard multi rides the coordinator's queue, but other
+        # shards keep writing the same paths: wait until the batch txid
+        # heads every touched path's pending list (per-path total order).
+        if self.sharded:
+            for path in commit_paths:
+                if path != primary:
+                    yield from self._await_path_turn(fctx, path, txid)
+
+        # ➌ replicate per-path final images, all regions in parallel
+        t0 = env.now
+        data_kb = sum(len(sub["node_image"].get("data", b"") or b"") / 1024.0
+                      for sub in msg["subs"] if sub["op"] != "check")
+        yield fctx.compute(base_ms=0.3, payload_kb=data_kb, per_kb_ms=0.12)
+        procs = []
+        for path, image, is_parent, op in affected:
+            if path in skip_paths:
+                self._skipped_images[path] = (image, txid, op, is_parent)
+                continue
+            self._skipped_images.pop(path, None)
+            for region in self.service.config.regions:
+                epoch = self.epoch_snapshot(region)
+                procs.append(env.process(
+                    self._replicate(fctx, region, path, image, epoch,
+                                    txid, op, is_parent),
+                    name=f"replicate:{path}@{region}"))
+        if procs:
+            yield AllOf(env, procs)
+        fctx.record("update_user", env.now - t0)
+
+        # ➍ watches: one query/consume per touched path; every instance
+        # fires exactly once per committed multi, with the batch txid
+        t0 = env.now
+        op_pairs: Dict[str, List[Tuple[str, bool]]] = {}
+        for sub in msg["subs"]:
+            if sub["op"] == "check":
+                continue
+            op_pairs.setdefault(sub["path"], []).append((sub["op"], False))
+            if sub.get("parent"):
+                op_pairs.setdefault(sub["parent"], []).append((sub["op"], True))
+        triggered: List = []
+        for path, pairs in op_pairs.items():
+            witem = yield from self.service.watch_registry.query(fctx.ctx, path)
+            found = yield from self.service.watch_registry.consume_ops(
+                fctx.ctx, path, pairs, witem)
+            triggered.extend(found)
+        fctx.record("watch_query", env.now - t0)
+        if triggered:
+            watch_ids = [t.watch_id for t in triggered]
+            yield from self.service.epoch_ledger.add(fctx.ctx, watch_ids)
+            done = self.service.invoke_watch_fn(triggered, txid, shard=self.shard)
+            cb = env.process(
+                self.service.epoch_ledger.remove_after(
+                    done, watch_ids, self.service.system_ctx),
+                name="watch-callback")
+            self._pending_callbacks.append(cb)
+
+        # ➎ notify (one response, per-op results) + pop the batch txid
+        yield from self._queue_success(fctx, msg, txid, defer)
+        t0 = env.now
+        for path in commit_paths:
+            try:
+                yield from sys_store.update_item(
+                    fctx.ctx, SYSTEM_NODES, path,
+                    updates=[ListRemove("transactions", [txid]),
+                             Set("applied_tx", txid)],
+                    condition=Attr("applied_tx").not_exists()
+                    | (Attr("applied_tx") < txid),
+                    payload_kb=0.032,
+                )
+            except ConditionFailed:  # pragma: no cover - concurrent watermark
+                pass
+        fctx.record("pop", env.now - t0)
+        self._pass_fence(msg)
+        return None
+
+    def _try_commit_multi(self, fctx, msg: Dict[str, Any],
+                          txid: int) -> Generator[Any, Any, bool]:
+        """Step ➋ for a multi: commit the whole batch on behalf of a
+        (presumably dead) follower, or reject it — never partially (Z1).
+
+        The merged per-path updates are the exact transaction the follower
+        would have applied (:func:`merge_multi_commit` is shared), guarded
+        by the preconditions each member validated against: data version
+        for set/check/delete first-touches, the parent's child-list version
+        for create/delete, and expired locks everywhere.
+        """
+        env = fctx.env
+        t0 = env.now
+        order, merged = merge_multi_commit(msg["subs"])
+        max_hold = self.service.config.lock_max_hold_ms
+        for path in order:
+            item = yield from self.service.system_store.get_item(
+                fctx.ctx, SYSTEM_NODES, path)
+            lock_ts = ((item or {}).get("lock") or {}).get("ts")
+            if lock_ts is not None and env.now - lock_ts < max_hold:
+                fctx.record("try_commit", env.now - t0)
+                raise RetryBatch(f"lock live on {path} for multi txid {txid}")
+        applied_before = Attr("applied_tx").not_exists() | (
+            Attr("applied_tx") < txid)
+        ops = []
+        for path in order:
+            rec = merged[path]
+            guard = Attr("lock.ts").not_exists() | (
+                Attr("lock.ts") <= env.now - max_hold)
+            if path == msg["path"]:
+                guard = guard & applied_before & (
+                    ~Attr("transactions").contains(txid))
+            if rec["prev_version"] is not None:
+                guard = guard & (Attr("version") == rec["prev_version"])
+            if rec["parent_prev_cversion"] is not None:
+                # Guard the child list like single-op TryCommit does —
+                # also when the path is node-written by this same multi
+                # (a concurrent child create bumps cversion, not version).
+                guard = guard & (Attr("cversion") == rec["parent_prev_cversion"])
+            updates = [Set(k, v) for k, v in rec["sets"].items()]
+            if rec["node"]:
+                updates.append(Set("modified_tx", txid))
+                if rec["created"]:
+                    updates.append(Set("created_tx", txid))
+            if rec["node"] or rec["sets"]:
+                updates.append(ListAppend("transactions", [txid]))
+            ops.append((SYSTEM_NODES, path, updates, guard))
+        try:
+            yield from self.service.system_store.transact_update(fctx.ctx, ops)
+            fctx.record("try_commit", env.now - t0)
+            return True
+        except ConditionFailed:
+            pass
+        # Re-read: the follower may have committed while we tried.
+        fresh = yield from self.service.system_store.get_item(
+            fctx.ctx, SYSTEM_NODES, msg["path"])
+        fresh = fresh or {}
+        fctx.record("try_commit", env.now - t0)
+        if txid in fresh.get("transactions", []) or \
+                fresh.get("applied_tx", 0) >= txid:
+            return True
+        if (fresh.get("lock") or {}).get("ts") is not None and \
+                env.now - fresh["lock"]["ts"] < max_hold:
+            raise RetryBatch(f"lock re-taken on {msg['path']}")
+        return False
+
     # ------------------------------------------------------------ steps
-    def _await_parent_turn(self, fctx, parent: str, txid: int) -> Generator:
-        """Per-path replication order for cross-shard parents: proceed only
-        when ``txid`` heads the parent's pending list (or was popped by a
+    def _await_path_turn(self, fctx, path: str, txid: int) -> Generator:
+        """Per-path replication order for paths other shards also write
+        (cross-shard parents, a cross-shard multi's members): proceed only
+        when ``txid`` heads the path's pending list (or was popped by a
         prior delivery of this message)."""
         item = yield from self.service.system_store.get_item(
-            fctx.ctx, SYSTEM_NODES, parent)
+            fctx.ctx, SYSTEM_NODES, path)
         pending = (item or {}).get("transactions", [])
         if txid in pending and pending[0] != txid:
-            raise RetryBatch(f"txid {txid} behind {pending[0]} on parent {parent}")
+            raise RetryBatch(f"txid {txid} behind {pending[0]} on {path}")
         return None
 
     def _try_commit(self, fctx, msg: Dict[str, Any], txid: int,
@@ -438,12 +711,22 @@ class LeaderLogic:
         env = fctx.env
         t0 = env.now
         if msg["rid"] >= 0:
-            image = msg["node_image"]
-            yield from self.service.notify_response(Response(
-                session=msg["session"], rid=msg["rid"], ok=True,
-                path=msg["path"], txid=txid,
-                version=image.get("version", 0) if not image.get("deleted") else 0,
-            ))
+            if msg["op"] == "multi":
+                # One response for the whole batch, carrying the per-op
+                # results stamped with the shared transaction id.
+                yield from self.service.notify_response(Response(
+                    session=msg["session"], rid=msg["rid"], ok=True,
+                    path=msg["path"], txid=txid, version=0,
+                    results=[dict(res, ok=True, txid=txid)
+                             for res in msg["results"]],
+                ))
+            else:
+                image = msg["node_image"]
+                yield from self.service.notify_response(Response(
+                    session=msg["session"], rid=msg["rid"], ok=True,
+                    path=msg["path"], txid=txid,
+                    version=image.get("version", 0) if not image.get("deleted") else 0,
+                ))
         fctx.record("notify", env.now - t0)
         return None
 

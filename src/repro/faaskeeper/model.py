@@ -1,10 +1,18 @@
-"""Data model: node stats, watch events, request/response envelopes."""
+"""Data model: node stats, watch events, the unified operation envelope.
+
+Every write travels as a :class:`Request` envelope holding one or more
+typed :class:`Operation` elements.  The client's per-method APIs build
+one-element envelopes; ``multi()``/``transaction()`` build longer ones
+that commit atomically (ZooKeeper's ``multi`` semantics).  The follower
+parses the same ``Operation`` objects back out of the wire dict, so the
+client and the service agree on one schema.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, List, Optional
+from typing import Any, ClassVar, Dict, List, Optional
 
 from .exceptions import BadArgumentsError
 
@@ -16,6 +24,14 @@ __all__ = [
     "WatchType",
     "WatchedEvent",
     "EventType",
+    "Operation",
+    "CreateOp",
+    "SetDataOp",
+    "DeleteOp",
+    "CheckOp",
+    "operation_from_dict",
+    "WriteResult",
+    "CheckResult",
     "Request",
     "Response",
     "validate_path",
@@ -94,13 +110,183 @@ def acl_allows(acl, perm: str, session: str) -> bool:
     return "world" in allowed or session in allowed
 
 
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of a committed write."""
+
+    path: str
+    txid: int
+    version: int
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a passed version check inside a transaction."""
+
+    path: str
+    version: int
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One element of the write envelope: a typed, validated operation.
+
+    Subclasses mirror ZooKeeper's transaction op set (create / setData /
+    delete / check).  ``validate()`` runs client-side before submission;
+    ``to_dict()``/:func:`operation_from_dict` define the wire schema shared
+    with the follower; the ``result_*`` hooks map a committed envelope's
+    response back to the per-op typed result.
+    """
+
+    path: str
+
+    OP: ClassVar[str] = ""
+
+    def validate(self) -> None:
+        validate_path(self.path)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.OP, "path": self.path}
+
+    @property
+    def payload_kb(self) -> float:
+        """Queue-payload contribution (same accounting as a lone request)."""
+        return 128 / 1024.0
+
+    def result_from_response(self, response: "Response") -> Any:
+        """Typed result of a one-element envelope."""
+        raise NotImplementedError
+
+    def result_from_multi(self, result: Dict[str, Any]) -> Any:
+        """Typed result of this op inside a committed multi."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CreateOp(Operation):
+    """Create a node (optionally ephemeral / sequence-suffixed / ACL'd)."""
+
+    data: bytes = b""
+    ephemeral: bool = False
+    sequence: bool = False
+    acl: Optional[dict] = None
+
+    OP: ClassVar[str] = "create"
+
+    def validate(self) -> None:
+        validate_path(self.path, allow_root=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.OP, "path": self.path, "data": bytes(self.data),
+                "ephemeral": self.ephemeral, "sequence": self.sequence,
+                "acl": self.acl}
+
+    @property
+    def payload_kb(self) -> float:
+        return (len(self.data) + 128) / 1024.0
+
+    def result_from_response(self, response: "Response") -> str:
+        return response.path
+
+    def result_from_multi(self, result: Dict[str, Any]) -> str:
+        return result["path"]
+
+
+@dataclass(frozen=True)
+class SetDataOp(Operation):
+    """Replace node data, optionally conditional on ``version``."""
+
+    data: bytes = b""
+    version: int = -1
+
+    OP: ClassVar[str] = "set_data"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.OP, "path": self.path, "data": bytes(self.data),
+                "version": self.version}
+
+    @property
+    def payload_kb(self) -> float:
+        return (len(self.data) + 128) / 1024.0
+
+    def result_from_response(self, response: "Response") -> WriteResult:
+        return WriteResult(path=response.path or self.path,
+                           txid=response.txid, version=response.version)
+
+    def result_from_multi(self, result: Dict[str, Any]) -> WriteResult:
+        return WriteResult(path=result["path"], txid=result["txid"],
+                           version=result["version"])
+
+
+@dataclass(frozen=True)
+class DeleteOp(Operation):
+    """Delete a (childless) node, optionally conditional on ``version``."""
+
+    version: int = -1
+
+    OP: ClassVar[str] = "delete"
+
+    def validate(self) -> None:
+        validate_path(self.path, allow_root=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.OP, "path": self.path, "version": self.version}
+
+    def result_from_response(self, response: "Response") -> None:
+        return None
+
+    def result_from_multi(self, result: Dict[str, Any]) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class CheckOp(Operation):
+    """Assert a node exists (and, when ``version >= 0``, matches it).
+
+    ZooKeeper's transaction-only guard op: it never mutates state, but the
+    whole multi aborts when the check fails at commit time.
+    """
+
+    version: int = -1
+
+    OP: ClassVar[str] = "check"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"op": self.OP, "path": self.path, "version": self.version}
+
+    def result_from_multi(self, result: Dict[str, Any]) -> CheckResult:
+        return CheckResult(path=result["path"], version=result["version"])
+
+
+_OPERATION_TYPES = {cls.OP: cls for cls in (CreateOp, SetDataOp, DeleteOp, CheckOp)}
+
+
+def operation_from_dict(raw: Dict[str, Any]) -> Operation:
+    """Parse one wire-dict envelope element back into a typed Operation."""
+    if not isinstance(raw, dict):
+        raise BadArgumentsError(f"malformed operation {raw!r}")
+    cls = _OPERATION_TYPES.get(raw.get("op"))
+    if cls is None:
+        raise BadArgumentsError(f"unknown operation {raw.get('op')!r}")
+    fields = {k: v for k, v in raw.items() if k != "op"}
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise BadArgumentsError(f"malformed {raw.get('op')} operation: {exc}")
+
+
 @dataclass
 class Request:
-    """Client -> follower queue message."""
+    """Client -> follower queue message (the operation envelope).
+
+    Single operations use the flat fields (the historical wire schema,
+    preserved bit-for-bit); a ``multi`` envelope carries its elements in
+    ``ops`` and commits them atomically.
+    """
 
     session: str
     rid: int                      # per-session request id (dedup + ordering)
-    op: str                       # create | set_data | delete | close_session
+    op: str                       # create | set_data | delete | multi | close_session
     path: str = ""
     data: bytes = b""
     version: int = -1             # expected version, -1 = unconditional
@@ -108,9 +294,48 @@ class Request:
     sequence: bool = False
     acl: dict | None = None       # ACL for the created node
     shard_hint: int | None = None  # client-computed leader shard for the path
+    ops: List[dict] | None = None  # multi: wire dicts of the member operations
+
+    @classmethod
+    def from_operation(cls, session: str, rid: int, op: Operation) -> "Request":
+        """One-element envelope: the flat single-op wire schema."""
+        d = op.to_dict()
+        return cls(session=session, rid=rid, op=d["op"], path=d.get("path", ""),
+                   data=d.get("data", b""), version=d.get("version", -1),
+                   ephemeral=d.get("ephemeral", False),
+                   sequence=d.get("sequence", False), acl=d.get("acl"))
+
+    @classmethod
+    def from_operations(cls, session: str, rid: int,
+                        ops: List[Operation]) -> "Request":
+        """Multi envelope: N operations, one queue message, one commit."""
+        return cls(session=session, rid=rid, op="multi",
+                   ops=[op.to_dict() for op in ops])
+
+    def to_body(self) -> Dict[str, Any]:
+        """The queue-message dict (single-op bodies match the historical
+        per-method construction exactly)."""
+        body = {
+            "session": self.session, "rid": self.rid, "op": self.op,
+            "path": self.path, "data": self.data,
+            "version": self.version, "ephemeral": self.ephemeral,
+            "sequence": self.sequence, "acl": self.acl,
+        }
+        if self.ops is not None:
+            body["ops"] = self.ops
+        return body
+
+    def write_paths(self) -> List[str]:
+        """Paths this envelope writes (check ops guard, they don't write)."""
+        if self.ops is None:
+            return [self.path]
+        return [d["path"] for d in self.ops if d.get("op") != "check"]
 
     @property
     def size_kb(self) -> float:
+        if self.ops is not None:
+            return sum((len(d.get("data", b"") or b"") + 128) / 1024.0
+                       for d in self.ops)
         return (len(self.data) + 128) / 1024.0
 
 
@@ -125,6 +350,7 @@ class Response:
     path: str = ""                # created path (sequential nodes)
     txid: int = 0
     version: int = 0
+    results: List[dict] | None = None  # multi: per-op outcome dicts, in op order
 
 
 def validate_path(path: str, allow_root: bool = True) -> None:

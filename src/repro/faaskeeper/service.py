@@ -236,6 +236,20 @@ class FaaSKeeperService:
     def leader_queue_for(self, path: str):
         return self.leader_queues[self.shard_of(path)]
 
+    def multi_shard_of(self, paths) -> int:
+        """Coordinator shard of a transaction: the lowest shard id among the
+        shards owning its written paths (deterministic, so client hint and
+        follower routing agree).  A single-shard multi commits natively on
+        its own shard; a cross-shard multi rides the coordinator's queue and
+        relies on the session fences plus the per-path pending-transaction
+        gates to order its writes against the owning shards' traffic —
+        sound because every committed write appends its txid to each touched
+        path's pending list under the node lock, giving a per-path total
+        order every leader observes before replicating.
+        """
+        shards = {self.shard_of(p) for p in paths}
+        return min(shards) if shards else 0
+
     def _bootstrap_root(self) -> None:
         """Install "/" in system and user stores (zero-latency, deploy time)."""
         root = new_system_node(0, created_tx=0)

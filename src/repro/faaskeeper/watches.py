@@ -166,12 +166,39 @@ class WatchRegistry:
         ``watch_item`` is the result of a prior :meth:`query`; when it shows
         no matching instances the consume is free (no storage write).
         """
+        return (yield from self._consume_types(
+            ctx, path, triggered_watch_types(op, is_parent), watch_item))
+
+    def consume_ops(self, ctx: OpContext, path: str,
+                    op_pairs: List[Tuple[str, bool]],
+                    watch_item: Optional[Dict[str, Any]],
+                    ) -> Generator[Any, Any, List[TriggeredWatch]]:
+        """Multi-op consume: the union of watch types triggered on ``path``
+        by a committed transaction's sub-operations.  Each instance is
+        removed — and therefore fires — exactly once per multi, no matter
+        how many members touch the path; the first triggering member (in
+        op order) names the delivered event type.
+        """
+        type_events: List[Tuple[WatchType, EventType]] = []
+        seen = set()
+        for op, is_parent in op_pairs:
+            for wtype, event in triggered_watch_types(op, is_parent):
+                if wtype not in seen:
+                    seen.add(wtype)
+                    type_events.append((wtype, event))
+        return (yield from self._consume_types(ctx, path, type_events,
+                                               watch_item))
+
+    def _consume_types(self, ctx: OpContext, path: str,
+                       type_events: List[Tuple[WatchType, EventType]],
+                       watch_item: Optional[Dict[str, Any]],
+                       ) -> Generator[Any, Any, List[TriggeredWatch]]:
         if not watch_item:
             return []
         instances = watch_item.get("inst", {})
         triggered: List[TriggeredWatch] = []
         removals = []
-        for wtype, event in triggered_watch_types(op, is_parent):
+        for wtype, event in type_events:
             inst = instances.get(wtype.value)
             if not inst or not inst.get("sessions"):
                 continue

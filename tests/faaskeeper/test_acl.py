@@ -91,3 +91,21 @@ def test_get_acl_open_node():
     c = service.connect()
     c.create("/open", b"")
     assert c.get_acl("/open") is None
+
+
+def test_get_acl_validates_like_other_reads():
+    """get_acl rides the same read pipeline as get_data/exists: closed
+    sessions and malformed paths are rejected client-side."""
+    from repro.faaskeeper import BadArgumentsError, SessionClosedError
+
+    cloud, service = make_service(seed=306)
+    c = service.connect()
+    c.create("/n", b"")
+    with pytest.raises(BadArgumentsError):
+        c.get_acl("no-leading-slash")
+    with pytest.raises(BadArgumentsError):
+        c.get_acl("/n/")
+    assert c.get_acl_async("/n").wait() is None  # async variant, aligned
+    c.close()
+    with pytest.raises(SessionClosedError):
+        c.get_acl("/n")

@@ -11,15 +11,32 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
 
 
-@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
-def test_example_runs(script):
+def _run_example(script):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         [str(REPO_ROOT / "src")]
         + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
-    result = subprocess.run(
+    return subprocess.run(
         [sys.executable, str(script)],
         capture_output=True, text=True, timeout=300, env=env,
     )
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = _run_example(script)
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout  # every example prints its findings
+
+
+def test_transactional_config_demonstrates_atomicity():
+    """The transaction() example must show both sides of atomicity: a
+    committed swap (with a single watch notification) and a conflicting
+    deploy rolled back wholesale."""
+    script = REPO_ROOT / "examples" / "transactional_config.py"
+    assert script in EXAMPLES
+    result = _run_example(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "committed atomically" in result.stdout
+    assert "watch fired once" in result.stdout
+    assert "rolled back: BadVersionError, RolledBackError" in result.stdout
