@@ -1,0 +1,154 @@
+"""Client-side read cache: YCSB-style read throughput and storage cost.
+
+FaaSKeeper reads go straight to the region-local user store, so reads
+dominate both latency and the per-request storage bill of read-heavy
+mixes (Figures 8/9).  The watch-invalidated client cache
+(``client_cache_entries``) serves repeat reads from session memory — a
+cached value is valid exactly until its one-shot system watch fires —
+trading one extra watch registration per miss for free hits.
+
+This bench replays YCSB-style mixes (B: 95/5 read/update, A: 50/50) over
+a small hot set, cache off vs. on, and reports read throughput, hit rate
+and the metered user-store cost per operation.
+
+Acceptance gates: on the 95%-read mix the cache must lift read throughput
+>= 2x and cut the user-store cost; and the cache-OFF deployment must
+reproduce the seed read-latency fingerprint exactly (same pattern as the
+shards=1 gate in ``bench_multi_throughput.py``) — the default
+configuration's read path is bit-for-bit the paper's.
+
+``FK_BENCH_SMOKE=1`` shrinks the workload for CI smoke runs.
+"""
+
+import os
+
+from repro.analysis import render_table, summarize
+from repro.analysis.bench import timed
+from repro.cloud import Cloud
+from repro.faaskeeper import FaaSKeeperConfig, FaaSKeeperService
+from repro.workloads.mixes import MixSpec, generate_mix
+
+SMOKE = os.environ.get("FK_BENCH_SMOKE", "") not in ("", "0")
+MIXES = (0.95, 0.50)          # YCSB B and A read fractions
+N_OPS = 200 if SMOKE else 1500
+N_NODES = 12
+VALUE_BYTES = 512
+CACHE_ENTRIES = 64
+SEED = 2024
+
+#: Seed-calibrated fingerprint of the cache-off read path (seed 4242,
+#: default config): per-read virtual-clock latencies, end time and total
+#: metered cost.  CI fails when the default (cache-disabled) deployment's
+#: get_data/get_children pipeline deviates from the seed behaviour.
+READ_BASELINE = (
+    (10.56135, 15.549166, 13.098912, 10.063686, 13.066782, 12.799962,
+     14.435167, 6.914399, 6.574253, 13.499908, 9.101048, 9.447345,
+     6.316044, 25.448043, 11.765381, 6.050219),
+    6221.340547,                # virtual end time (ms)
+    9.3029332657e-05,           # total metered cost ($)
+)
+
+
+def read_fingerprint(**config_kwargs):
+    """Deterministic read-path fingerprint (the CI baseline)."""
+    cloud = Cloud.aws(seed=4242)
+    service = FaaSKeeperService.deploy(cloud,
+                                       FaaSKeeperConfig(**config_kwargs))
+    client = service.connect()
+    client.create("/cfg", b"")
+    client.create("/cfg/kid", b"")
+    client.set_data("/cfg", b"payload" * 16)
+    lat = []
+    for _ in range(12):
+        lat.append(round(timed(cloud, lambda: client.get_data("/cfg")), 6))
+    for _ in range(4):
+        lat.append(round(timed(cloud, lambda: client.get_children("/cfg")), 6))
+    cloud.run(until=cloud.now + 5_000)
+    return (tuple(lat), round(cloud.now, 6),
+            round(sum(cloud.meter.by_service().values()), 15))
+
+
+def _run_mix(read_fraction, cache_entries):
+    cloud = Cloud.aws(seed=SEED)
+    service = FaaSKeeperService.deploy(
+        cloud, FaaSKeeperConfig(client_cache_entries=cache_entries))
+    client = service.connect()
+    client.create("/mix", b"")
+    spec = MixSpec(n_ops=N_OPS, read_fraction=read_fraction,
+                   n_nodes=N_NODES, value_bytes=VALUE_BYTES, seed=7)
+    for path in spec.paths():
+        client.create(path, b"x" * VALUE_BYTES)
+    cost0 = cloud.meter.total
+    read_times, n_writes = [], 0
+    for op, path, data in generate_mix(spec):
+        if op == "read":
+            read_times.append(timed(cloud, lambda: client.get_data(path)))
+        else:
+            client.set_data(path, data)
+            n_writes += 1
+    cloud.run(until=cloud.now + 5_000)  # drain watch fan-out
+    stats = service.client_cache_stats()
+    breakdown = service.cost_breakdown()
+    reads = len(read_times)
+    return {
+        "read_tput": reads / max(sum(read_times) / 1000.0, 1e-9),
+        "read_p50": summarize(read_times).p50,
+        "hit_rate": stats["hits"] / max(reads, 1),
+        "user_store_cost": breakdown["user_store"],
+        "total_cost": cloud.meter.total - cost0,
+        "reads": reads,
+        "writes": n_writes,
+    }
+
+
+def run():
+    out = {}
+    for mix in MIXES:
+        out[mix] = {
+            "off": _run_mix(mix, 0),
+            "on": _run_mix(mix, CACHE_ENTRIES),
+        }
+    rows = []
+    for mix, r in out.items():
+        for tag in ("off", "on"):
+            m = r[tag]
+            rows.append([
+                f"{int(mix * 100)}/{int((1 - mix) * 100)}", tag,
+                f"{m['read_tput']:.0f}", f"{m['read_p50']:.2f}",
+                f"{100 * m['hit_rate']:.0f}%",
+                f"{m['user_store_cost'] * 1e6:.1f}",
+                f"{m['total_cost'] * 1e6:.1f}",
+            ])
+    print()
+    print(render_table(
+        ["mix r/w", "cache", "reads/s", "read p50 ms", "hit rate",
+         "user store $/M", "total $/M"],
+        rows, title=f"Client read cache ({N_OPS} ops, {N_NODES} hot nodes)"))
+    return out
+
+
+def test_client_cache_throughput(benchmark):
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    r95 = out[0.95]
+    # The acceptance gate: >= 2x read throughput on the 95%-read mix …
+    assert r95["on"]["read_tput"] >= 2.0 * r95["off"]["read_tput"], r95
+    # … from a high hit rate …
+    assert r95["on"]["hit_rate"] > 0.5
+    # … and a lower metered user-store bill for the same logical workload.
+    assert r95["on"]["user_store_cost"] < r95["off"]["user_store_cost"]
+    # The cache never changes results, only costs: the 50/50 mix must also
+    # profit on reads (writes dominate its runtime either way).
+    r50 = out[0.50]
+    assert r50["on"]["read_tput"] > r50["off"]["read_tput"]
+
+
+def test_cache_off_read_path_matches_seed_baseline():
+    """The cache wiring must not move the default read pipeline: the
+    cache-off configuration reproduces the seed read-latency fingerprint
+    bit-for-bit (virtual timings, end time and metered cost)."""
+    assert read_fingerprint() == READ_BASELINE
+    assert read_fingerprint(client_cache_entries=0) == READ_BASELINE
+
+
+if __name__ == "__main__":
+    run()

@@ -12,6 +12,7 @@ Public entry points::
         data, stat = client.get_data("/app")
 """
 
+from .cache import ClientReadCache
 from .client import FaaSKeeperClient, FKFuture, Transaction, WriteResult
 from .config import FaaSKeeperConfig, UserStoreKind
 from .exceptions import (
@@ -50,6 +51,7 @@ __all__ = [
     "FaaSKeeperConfig",
     "UserStoreKind",
     "FaaSKeeperClient",
+    "ClientReadCache",
     "FKFuture",
     "Transaction",
     "WriteResult",

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set, Tuple
 
 from ..cloud.context import OpContext
+from .cache import ClientReadCache
 from .exceptions import (
     AccessDeniedError,
     BadArgumentsError,
@@ -49,6 +50,7 @@ from .model import (
     SetDataOp,
     WriteResult,
     acl_allows,
+    parent_path,
     Request,
     Response,
     WatchedEvent,
@@ -179,7 +181,13 @@ class FaaSKeeperClient:
         self._registered: Dict[str, List[Callable]] = {}  # watch id -> callbacks
         self._delivered: Set[str] = set()
         self._wait_events: Dict[str, Any] = {}      # watch id -> stall Event
+        self._watch_ids: Dict[Tuple[str, str], str] = {}  # (path, type) -> wid
         self.watch_events: List[WatchedEvent] = []  # delivery log (tests)
+        config = service.config
+        self._cache: Optional[ClientReadCache] = (
+            ClientReadCache(config.client_cache_entries,
+                            config.client_cache_kb)
+            if config.client_cache_enabled else None)
         queue.on_drop = self._on_drop
 
     # ------------------------------------------------------------ plumbing
@@ -189,6 +197,11 @@ class FaaSKeeperClient:
 
     def _mark_closed(self) -> None:
         self.closed = True
+        if self._cache is not None:
+            # A cached entry must not outlive its session: the watches
+            # guarding it stop being delivered once the session is closed
+            # (the GC sweeper reclaims the instances server-side).
+            self._cache.clear()
 
     def _on_drop(self, message) -> None:
         """Poison request dropped by the queue: fail its future."""
@@ -208,6 +221,9 @@ class FaaSKeeperClient:
 
     def _deliver_watch(self, watch_id: str, event: WatchedEvent) -> None:
         self._delivered.add(watch_id)
+        if self._cache is not None:
+            # One-shot watch fired: every cache entry it guarded is stale.
+            self._cache.invalidate_watch(watch_id)
         self.mrd = max(self.mrd, event.txid)
         self.watch_events.append(event)
         waiter = self._wait_events.pop(watch_id, None)
@@ -324,6 +340,21 @@ class FaaSKeeperClient:
             raise _error_for(response.error, f"{request.op} {request.path}")
         return response
 
+    def _invalidate_written(self, op_name: Optional[str],
+                            path: Optional[str]) -> None:
+        """Read-your-writes through the cache: the instant this session's
+        write is acknowledged, its cached images — and the parent's, whose
+        child list a create/delete changed — are stale.  The system watch
+        will also fire, but its delivery may trail the response; a read
+        issued in between must already miss."""
+        if self._cache is None or not path or op_name == "check":
+            return  # a check writes nothing: its path's entries stay valid
+        self._cache.invalidate_path(path)
+        if op_name in ("create", "delete"):
+            parent = parent_path(path)
+            if parent:
+                self._cache.invalidate_path(parent)
+
     def _submit_write(self, op: Operation) -> FKFuture:
         """Generic one-op submission: validate, wrap in a one-element
         envelope, ride the pipeline, map the typed result."""
@@ -334,6 +365,7 @@ class FaaSKeeperClient:
 
         def flow():
             response = yield from self._write_flow(req, internal)
+            self._invalidate_written(op.OP, response.path or op.path)
             return op.result_from_response(response)
 
         return self._chained(flow())
@@ -373,6 +405,8 @@ class FaaSKeeperClient:
 
         def flow():
             response = yield from self._write_flow(req, internal)
+            for res in response.results or []:
+                self._invalidate_written(res.get("op"), res.get("path"))
             return [op.result_from_multi(res)
                     for op, res in zip(ops, response.results or [])]
 
@@ -392,8 +426,21 @@ class FaaSKeeperClient:
                         callback: Optional[Callable]) -> Generator:
         wid = yield from self.service.watch_registry.register(
             self.ctx, path, wtype, self.session_id)
+        self._watch_ids[(path, wtype.value)] = wid
         self._registered.setdefault(wid, []).append(callback)
         return wid
+
+    def _register_cache_watch(self, path: str, wtype: WatchType) -> Generator:
+        """System watch guarding a cache entry.  If this session already
+        holds an undelivered watch on the same instance (a user watch, or a
+        previous cache miss whose entry was evicted), reuse it instead of
+        appending the session to the instance again — one notification per
+        session per instance, and no extra storage write."""
+        wid = self._watch_ids.get((path, wtype.value))
+        if wid is not None and wid in self._registered \
+                and wid not in self._delivered:
+            return wid
+        return (yield from self._register_watch(path, wtype, None))
 
     def _stall_for_epoch(self, image: Dict[str, Any]) -> Generator:
         """Z4: hold the read until this session's pending notifications for
@@ -426,7 +473,9 @@ class FaaSKeeperClient:
             return [self._pending[rid] for rid in sorted(self._pending)]
         return [self._write_tail] if self._write_tail is not None else []
 
-    def _read_image(self, path: str, barrier=None) -> Generator:
+    def _read_image(self, path: str, barrier=None,
+                    cache_wtype: Optional[WatchType] = None,
+                    require_wid: Optional[str] = None) -> Generator:
         # Session FIFO processing (ZooKeeper read-your-writes): the fetch
         # starts only after the responses of all earlier writes arrived, so
         # a read following a write observes it.  Writes themselves pipeline.
@@ -437,6 +486,25 @@ class FaaSKeeperClient:
                     yield pending_write
                 except Exception:
                     pass  # a failed write belongs to its own caller
+        if cache_wtype is not None and self._cache is not None:
+            cached = self._cache.lookup(path, cache_wtype,
+                                        require_watch_id=require_wid)
+            if cached is not None:
+                # A hit replays the uncached gates against the cached image:
+                # ACL, then the Z4 epoch stall — only the storage round trip
+                # is saved.
+                if not acl_allows(cached.get("acl"), "read", self.session_id):
+                    raise AccessDeniedError(path)
+                yield from self._stall_for_epoch(cached)
+                data_kb = len(cached.get("data", b"") or b"") / 1024.0
+                yield self.env.timeout(0.05 + 0.002 * data_kb)
+                return cached
+        cache_wid: Optional[str] = None
+        if cache_wtype is not None and self._cache is not None:
+            # Register the guarding watch BEFORE the read: any write that
+            # commits after this point fires it, so an entry can never be
+            # installed without a live invalidation channel.
+            cache_wid = yield from self._register_cache_watch(path, cache_wtype)
         image = yield from self.service.user_store.read_node(
             self.ctx, self.region, path)
         if image is None or image.get("deleted"):
@@ -450,6 +518,11 @@ class FaaSKeeperClient:
         # deserialization add ~2% (Section 5.3.1).
         data_kb = len(image.get("data", b"") or b"") / 1024.0
         yield self.env.timeout(0.05 + 0.002 * data_kb)
+        if cache_wid is not None and cache_wid not in self._delivered:
+            # The watch may have fired while the read was in flight (a
+            # fan-out race): an already-consumed guard must not admit the
+            # entry, or it would never be invalidated.
+            self._cache.admit(path, cache_wtype, image, cache_wid)
         return image
 
     def _read_barrier(self) -> Optional[List]:
@@ -467,9 +540,13 @@ class FaaSKeeperClient:
         barrier = self._read_barrier()
 
         def flow():
+            wid = None
             if watch is not None:
-                yield from self._register_watch(path, WatchType.DATA, watch)
-            image = yield from self._read_image(path, barrier)
+                wid = yield from self._register_watch(path, WatchType.DATA,
+                                                      watch)
+            image = yield from self._read_image(path, barrier,
+                                                cache_wtype=WatchType.DATA,
+                                                require_wid=wid)
             if image is None:
                 raise NoNodeError(path)
             return image.get("data", b""), NodeStat.from_image(image)
@@ -499,9 +576,12 @@ class FaaSKeeperClient:
         barrier = self._read_barrier()
 
         def flow():
+            wid = None
             if watch is not None:
-                yield from self._register_watch(path, WatchType.CHILDREN, watch)
-            image = yield from self._read_image(path, barrier)
+                wid = yield from self._register_watch(path, WatchType.CHILDREN,
+                                                      watch)
+            image = yield from self._read_image(
+                path, barrier, cache_wtype=WatchType.CHILDREN, require_wid=wid)
             if image is None:
                 raise NoNodeError(path)
             return sorted(image.get("children", []))
@@ -516,7 +596,7 @@ class FaaSKeeperClient:
 
         def flow():
             yield from self._write_flow(req)
-            self.closed = True
+            self._mark_closed()
             return None
 
         return self._chained(flow())

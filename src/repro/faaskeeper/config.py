@@ -48,6 +48,15 @@ class FaaSKeeperConfig:
     #: None = auto: enabled for sharded deployments, off for the paper's
     #: single-leader configuration so its published latencies stay intact.
     leader_coalesce: Optional[bool] = None
+    #: Client-side read cache: maximum cached node images per session.
+    #: 0 (the default) disables the cache entirely, so the paper's read
+    #: pipeline — every get_data/get_children is a user-store round trip —
+    #: stays bit-for-bit intact.  A cached entry is valid exactly until the
+    #: system watch registered alongside it fires (one-shot watches make
+    #: client caching sound, as in ZooKeeper).
+    client_cache_entries: int = 0
+    #: Byte budget of the client cache in kB (0 = bounded by entries only).
+    client_cache_kb: float = 0.0
 
     def __post_init__(self) -> None:
         if self.user_store not in UserStoreKind.ALL:
@@ -58,6 +67,16 @@ class FaaSKeeperConfig:
             raise ValueError(f"unknown arch {self.arch!r}")
         if self.leader_shards < 1:
             raise ValueError(f"leader_shards must be >= 1, got {self.leader_shards}")
+        if self.client_cache_entries < 0:
+            raise ValueError(
+                f"client_cache_entries must be >= 0, got {self.client_cache_entries}")
+        if self.client_cache_kb < 0:
+            raise ValueError(
+                f"client_cache_kb must be >= 0, got {self.client_cache_kb}")
+
+    @property
+    def client_cache_enabled(self) -> bool:
+        return self.client_cache_entries > 0
 
     @property
     def coalesce_enabled(self) -> bool:

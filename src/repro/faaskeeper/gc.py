@@ -20,10 +20,10 @@ suspended together with it at scale-to-zero.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List
+from typing import Any, Dict, Generator
 
 from ..cloud.errors import ConditionFailed
-from ..cloud.expressions import Attr, Remove
+from ..cloud.expressions import Attr
 from .layout import SYSTEM_NODES, SYSTEM_SESSIONS, SYSTEM_WATCHES
 
 __all__ = ["GarbageCollectorLogic"]
@@ -103,17 +103,18 @@ class GarbageCollectorLogic:
         live = set(sessions.keys())
         watch_items = yield from store.scan(fctx.ctx, SYSTEM_WATCHES)
         for path, item in watch_items.items():
-            removals: List = []
             for wtype, inst in (item.get("inst") or {}).items():
                 alive = [s for s in inst.get("sessions", []) if s in live]
-                if not alive:
-                    removals.append(Remove(f"inst.{wtype}"))
-            if removals:
-                try:
-                    yield from store.update_item(
-                        fctx.ctx, SYSTEM_WATCHES, path, updates=removals,
-                        payload_kb=0.064)
-                    self.collected_watches += len(removals)
-                except ConditionFailed:  # pragma: no cover - unconditional
-                    pass
+                if alive:
+                    continue
+                # Guarded removal: the scan snapshot is stale by the time
+                # the update lands — a watch consumed (fired) and
+                # re-registered in between holds a fresh instance id, and a
+                # live session may have joined the existing instance;
+                # deleting either would silently unsubscribe live sessions.
+                removed = yield from self.service.watch_registry.remove_instance(
+                    fctx.ctx, path, wtype, inst.get("id"),
+                    inst.get("sessions", []))
+                if removed:
+                    self.collected_watches += 1
         return None

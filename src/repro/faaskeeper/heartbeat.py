@@ -2,17 +2,25 @@
 
 ZooKeeper sessions exchange keep-alives over their TCP connection; with no
 connection to keep, FaaSKeeper inverts the direction: a cron-triggered
-function scans the session table, pings every client that owns ephemeral
-nodes in parallel, and starts an eviction (a ``close_session`` request in
-the session's own FIFO queue, so it serializes after the session's earlier
-writes) for clients that miss the deadline.
+function scans the session table, pings every scanned session in parallel,
+and starts an eviction (a ``close_session`` request in the session's own
+FIFO queue, so it serializes after the session's earlier writes) for
+clients that miss the deadline.
+
+Every session is pinged, not just owners of ephemeral nodes: a dead
+session that only holds watches (or nothing at all) would otherwise never
+be evicted — its session record, FIFO queue and watch registrations leak
+forever, and the GC watch sweeper (which keys liveness off the session
+table) could never reclaim its instances.  Ephemeral owners are still
+pinged — and therefore evicted — first, preserving the original eviction
+ordering.
 
 The function also doubles as the "system is online" signal for clients.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List
+from typing import Any, Dict, Generator
 
 from ..sim.kernel import AllOf
 from .layout import SYSTEM_SESSIONS
@@ -34,17 +42,24 @@ class HeartbeatLogic:
             fctx.ctx, SYSTEM_SESSIONS)
         fctx.record("scan", env.now - t0)
 
-        # Ping owners of ephemeral nodes in parallel.
+        # Ping every scanned session in parallel, ephemeral owners first
+        # (their evictions release ephemeral nodes and must keep their
+        # original relative order).
         t0 = env.now
         to_check = [sid for sid, item in sessions.items() if item.get("ephemeral")]
-        pings = [
-            env.process(self.service.heartbeat_ping(sid), name=f"ping:{sid}")
+        to_check += [sid for sid, item in sessions.items()
+                     if not item.get("ephemeral")]
+        pings = {
+            sid: env.process(self.service.heartbeat_ping(sid), name=f"ping:{sid}")
             for sid in to_check
-        ]
+        }
         results: Dict[str, bool] = {}
         if pings:
-            done = yield AllOf(env, pings)
-            results = dict(zip(to_check, done.values()))
+            yield AllOf(env, list(pings.values()))
+            # Key each result by its own ping process — never by the
+            # position of the composite event's value dict, whose iteration
+            # order is an implementation detail of the kernel.
+            results = {sid: bool(ping.value) for sid, ping in pings.items()}
         fctx.record("ping", env.now - t0)
 
         expired = [sid for sid in to_check if not results.get(sid, False)]

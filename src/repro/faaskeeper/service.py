@@ -357,10 +357,27 @@ class FaaSKeeperService:
         return None
 
     # ------------------------------------------------------------ accounting
+    def client_cache_stats(self) -> Dict[str, float]:
+        """Aggregate hit/miss/invalidation counters of every session's read
+        cache (all zero when ``client_cache_entries`` is 0, the default)."""
+        totals = {"hits": 0.0, "misses": 0.0, "invalidations": 0.0,
+                  "evictions": 0.0, "entries": 0.0, "size_kb": 0.0}
+        for client in self.clients.values():
+            if client._cache is None:
+                continue
+            for key, value in client._cache.stats().items():
+                totals[key] += value
+        return totals
+
     def cost_breakdown(self) -> Dict[str, float]:
-        """Metered dollars by category (Figures 9/11 cost bars)."""
+        """Metered dollars by category (Figures 9/11 cost bars), plus the
+        client read-cache hit/miss counters so cost reports can attribute a
+        user-store drop to its hit rate."""
+        cache = self.client_cache_stats()
         by = self.cloud.meter.by_service()
         return {
+            "client_cache_hits": cache["hits"],
+            "client_cache_misses": cache["misses"],
             "queue": sum(v for k, v in by.items() if k.startswith("sqs")),
             "system_store": by.get("dynamodb:system", 0.0),
             "user_store": by.get("dynamodb:user", 0.0) + by.get("s3", 0.0),

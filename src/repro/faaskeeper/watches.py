@@ -21,7 +21,8 @@ import itertools
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..cloud.context import OpContext
-from ..cloud.expressions import ListAppend, Remove, SetIfNotExists
+from ..cloud.errors import ConditionFailed
+from ..cloud.expressions import Attr, ListAppend, Remove, SetIfNotExists
 from ..cloud.kvstore import KeyValueStore
 from ..primitives.atomics import AtomicList
 from .layout import SYSTEM_WATCHES, epoch_key
@@ -157,6 +158,32 @@ class WatchRegistry:
               ) -> Generator[Any, Any, Optional[Dict[str, Any]]]:
         """Leader step ➍ prelude: the per-write watch lookup."""
         return (yield from self.store.get_item(ctx, SYSTEM_WATCHES, path))
+
+    def remove_instance(self, ctx: OpContext, path: str, wtype: str,
+                        observed_id: str,
+                        observed_sessions: List[str]) -> Generator[Any, Any, bool]:
+        """Guarded removal of one watch instance (the GC sweeper's path).
+
+        The ``Remove`` only applies while the instance still matches the
+        scan snapshot — same id AND same session list.  The id pin covers a
+        watch consumed and re-registered in the scan-to-update window (the
+        fresh instance survives); the session pin covers a live session
+        *joining* the existing instance in that window (registration keeps
+        the id, so the id alone would still sweep the newcomer away).
+        Returns True when the instance was removed.
+        """
+        guard = (Attr(f"inst.{wtype}.id") == observed_id) & \
+            (Attr(f"inst.{wtype}.sessions") == list(observed_sessions))
+        try:
+            yield from self.store.update_item(
+                ctx, SYSTEM_WATCHES, path,
+                updates=[Remove(f"inst.{wtype}")],
+                condition=guard,
+                payload_kb=0.064,
+            )
+        except ConditionFailed:
+            return False
+        return True
 
     def consume(self, ctx: OpContext, path: str, op: str, is_parent: bool,
                 watch_item: Optional[Dict[str, Any]],

@@ -1,5 +1,7 @@
 """Garbage-collection function tests (extension feature)."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.cloud import OpContext
@@ -61,6 +63,81 @@ def test_gc_drops_watches_of_dead_sessions():
     cloud.run(until=cloud.now + 10 * 60_000)
     assert not watches.raw("/w")["inst"].get("data")
     assert service.gc_logic.collected_watches >= 1
+
+
+def test_gc_watch_sweep_spares_instance_reregistered_during_sweep():
+    """Regression: the sweeper removed ``inst.<wtype>`` unconditionally from
+    its scan snapshot.  A watch instance consumed (fired) and re-registered
+    by a live session between the scan and the update was silently deleted
+    and never fired again.  The removal is now conditional on the instance
+    id observed at scan time."""
+    cloud, service = make_service(seed=207)
+    alive = service.connect()
+    ghost = service.connect()
+    alive.create("/w", b"")
+    ghost.get_data("/w", watch=lambda ev: None)  # dead session's watch
+    ghost_sid = ghost.session_id
+    ghost.close()  # session record gone; instance (ghost only) is sweepable
+
+    watches_tbl = service.system_store.table("fk-system-watches")
+    old_inst = watches_tbl.raw("/w")["inst"]["data"]
+    assert old_inst["sessions"] == [ghost_sid]
+
+    # Drive the sweep manually so the scan-to-update window is observable.
+    fctx = SimpleNamespace(env=cloud.env, ctx=OpContext(
+        region=service.config.primary_region))
+    sweep = cloud.env.process(service.gc_logic._sweep_watches(fctx))
+    reads_before = watches_tbl.read_count
+    while watches_tbl.read_count == reads_before and not sweep.triggered:
+        cloud.run(until=cloud.now + 0.05)
+    assert not sweep.triggered  # scan done, removal not yet applied
+
+    # In the window: the old instance is consumed by a write and a live
+    # session re-registers, minting a fresh instance id.
+    watches_tbl._store("/w", {"inst": {"data": {
+        "id": "w-fresh|/w|data", "sessions": [alive.session_id]}}})
+
+    cloud.run(until=sweep)
+    inst = watches_tbl.raw("/w")["inst"].get("data")
+    assert inst is not None, "live re-registered watch was swept away"
+    assert inst["id"] == "w-fresh|/w|data"
+    assert inst["sessions"] == [alive.session_id]
+
+
+def test_gc_watch_sweep_spares_live_session_joining_during_sweep():
+    """A live session that JOINS the scanned instance in the scan-to-update
+    window keeps the instance id (registration is SetIfNotExists on the id)
+    — the removal guard must pin the session list too, or the newcomer is
+    silently unsubscribed."""
+    cloud, service = make_service(seed=208)
+    alive = service.connect()
+    ghost = service.connect()
+    alive.create("/w", b"")
+    ghost.get_data("/w", watch=lambda ev: None)
+    ghost_sid = ghost.session_id
+    ghost.close()
+
+    watches_tbl = service.system_store.table("fk-system-watches")
+    old_inst = watches_tbl.raw("/w")["inst"]["data"]
+    assert old_inst["sessions"] == [ghost_sid]
+
+    fctx = SimpleNamespace(env=cloud.env, ctx=OpContext(
+        region=service.config.primary_region))
+    sweep = cloud.env.process(service.gc_logic._sweep_watches(fctx))
+    reads_before = watches_tbl.read_count
+    while watches_tbl.read_count == reads_before and not sweep.triggered:
+        cloud.run(until=cloud.now + 0.05)
+    assert not sweep.triggered
+
+    # In the window: the live session joins the SAME instance (same id).
+    watches_tbl._store("/w", {"inst": {"data": {
+        "id": old_inst["id"],
+        "sessions": [ghost_sid, alive.session_id]}}})
+
+    cloud.run(until=sweep)
+    inst = watches_tbl.raw("/w")["inst"].get("data")
+    assert inst is not None, "instance with a live joiner was swept away"
+    assert alive.session_id in inst["sessions"]
 
 
 def test_gc_keeps_watches_of_live_sessions():

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.faaskeeper import SessionClosedError
+from repro.sim.kernel import AllOf, ConditionValue
 from .conftest import make_service
 
 
@@ -67,13 +68,95 @@ def test_live_client_not_evicted(cloud, service):
     assert service.heartbeat_logic.evictions == 0
 
 
-def test_sessions_without_ephemerals_not_pinged(cloud, service):
+def test_dead_session_without_ephemerals_is_evicted(cloud, service):
+    """Regression: the heartbeat used to ping only ephemeral owners, so a
+    dead session owning none was never evicted — its session record, FIFO
+    queue and watch registrations leaked forever."""
     c = service.connect()
     c.create("/plain")
-    c.alive = False  # irrelevant: owns no ephemerals
+    c.alive = False
     cloud.run(until=cloud.now + 3 * 60_000)
+    assert c.closed
     assert service.system_store.table("fk-system-sessions").raw(
-        c.session_id) is not None
+        c.session_id) is None
+    assert service.heartbeat_logic.evictions >= 1
+
+
+def test_dead_watch_only_session_is_evicted_and_watch_reclaimed(cloud, service):
+    """A dead session holding only a watch is evicted by the heartbeat, and
+    the GC sweep can then reclaim its watch instance — pre-fix neither ever
+    happened (the session was never pinged, so it stayed 'live' forever)."""
+    writer = service.connect()
+    ghost = service.connect()
+    writer.create("/w", b"")
+    events = []
+    ghost.get_data("/w", watch=events.append)
+    ghost.alive = False  # dead client: owns no ephemerals, only the watch
+    cloud.run(until=cloud.now + 3 * 60_000)
+    assert ghost.closed
+    assert service.system_store.table("fk-system-sessions").raw(
+        ghost.session_id) is None
+    # Once the session record is gone, the GC watch sweep reclaims the
+    # instance (no more fan-out work for the dead client).
+    cloud.run(until=cloud.now + 10 * 60_000)
+    watches = service.system_store.table("fk-system-watches")
+    assert not (watches.raw("/w") or {}).get("inst", {}).get("data")
+    assert events == []  # nothing was ever delivered to the dead client
+
+
+def test_heartbeat_results_keyed_by_ping_not_dict_order(cloud, service):
+    """Regression: results were built as ``dict(zip(to_check,
+    done.values()))``, silently relying on the AllOf value dict iterating
+    in ping-list order.  Under a completion-ordered (equally legal)
+    condition value, the slow-but-alive session inherited the dead
+    session's result and was evicted in its place."""
+    import repro.faaskeeper.heartbeat as hb_module
+
+    class CompletionOrderedAllOf(AllOf):
+        """AllOf whose value dict iterates in completion order."""
+
+        def _check(self, event):
+            if self.triggered:
+                return
+            if not event._ok:
+                event._defused = True
+                self.fail(event._value)
+                return
+            self._fired.append(event)
+            if len(self._fired) >= self._need:
+                value = ConditionValue()
+                for ev in self._fired:  # completion order, not event order
+                    value[ev] = ev._value
+                self.succeed(value)
+
+    slow = service.connect()   # alive, but slow to answer
+    dead = service.connect()   # never answers
+    slow.create("/slow", ephemeral=True)
+    dead.create("/dead", ephemeral=True)
+    dead.alive = False
+
+    real_ping = service.heartbeat_ping
+
+    def skewed_ping(session_id):
+        if session_id == slow.session_id:
+            yield service.cloud.env.timeout(50.0)  # answers, late
+        result = yield from real_ping(session_id)
+        return result
+
+    service.heartbeat_ping = skewed_ping
+    original_allof = hb_module.AllOf
+    hb_module.AllOf = CompletionOrderedAllOf
+    try:
+        cloud.run(until=cloud.now + 3 * 60_000)
+    finally:
+        hb_module.AllOf = original_allof
+        service.heartbeat_ping = real_ping
+
+    sessions = service.system_store.table("fk-system-sessions")
+    assert sessions.raw(slow.session_id) is not None  # alive: never evicted
+    assert not slow.closed
+    assert sessions.raw(dead.session_id) is None      # dead: evicted
+    assert dead.closed
 
 
 def test_two_sessions_are_isolated_queues(service):
