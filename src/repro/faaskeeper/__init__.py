@@ -15,6 +15,7 @@ Public entry points::
 from .cache import ClientReadCache
 from .client import FaaSKeeperClient, FKFuture, Transaction, WriteResult
 from .config import FaaSKeeperConfig, UserStoreKind
+from .distributor import DistributionStage, VisibilityBoard
 from .exceptions import (
     AccessDeniedError,
     BadArgumentsError,
@@ -52,6 +53,8 @@ __all__ = [
     "UserStoreKind",
     "FaaSKeeperClient",
     "ClientReadCache",
+    "DistributionStage",
+    "VisibilityBoard",
     "FKFuture",
     "Transaction",
     "WriteResult",

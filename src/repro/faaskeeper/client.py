@@ -183,6 +183,10 @@ class FaaSKeeperClient:
         self._wait_events: Dict[str, Any] = {}      # watch id -> stall Event
         self._watch_ids: Dict[Tuple[str, str], str] = {}  # (path, type) -> wid
         self.watch_events: List[WatchedEvent] = []  # delivery log (tests)
+        #: rid -> txid of acked writes not yet replicated into this
+        #: client's region (distributor deployments only): the read
+        #: barrier waits on the region's visibility watermark for them.
+        self._await_visible: Dict[int, int] = {}
         config = service.config
         self._cache: Optional[ClientReadCache] = (
             ClientReadCache(config.client_cache_entries,
@@ -217,6 +221,17 @@ class FaaSKeeperClient:
             return  # duplicate delivery (redelivered batch): first wins
         if response.txid:
             self.mrd = max(self.mrd, response.txid)
+            board = self.service.visibility_board
+            if response.ok and board is not None:
+                # Acked before replication (ack_policy="on_commit"): reads
+                # must wait for the region watermark to cover this txid.
+                # Prune landed entries here too, so a write-only session's
+                # tracking stays bounded by its unreplicated backlog.
+                self._await_visible = {
+                    rid: txid for rid, txid in self._await_visible.items()
+                    if not board.visible(self.region, txid)}
+                if not board.visible(self.region, response.txid):
+                    self._await_visible[response.rid] = response.txid
         event.succeed(response)
 
     def _deliver_watch(self, watch_id: str, event: WatchedEvent) -> None:
@@ -467,15 +482,21 @@ class FaaSKeeperClient:
         a coalesced write's response is deferred until its superseding
         write lands, which can reorder deliveries — the read then waits for
         *every* outstanding write issued before it, so an acknowledged-but-
-        superseded write is never read stale.
+        superseded write is never read stale.  Distributor deployments wait
+        for every outstanding write too (acknowledgements may land out of
+        request order under ``ack_policy="on_replicate"``), and
+        :meth:`_await_visibility` additionally holds the read until the
+        region's ``replicated_tx`` watermark covers the acked writes.
         """
-        if self.service.config.leader_shards > 1:
+        if self.service.config.leader_shards > 1 \
+                or self.service.distribution is not None:
             return [self._pending[rid] for rid in sorted(self._pending)]
         return [self._write_tail] if self._write_tail is not None else []
 
     def _read_image(self, path: str, barrier=None,
                     cache_wtype: Optional[WatchType] = None,
-                    require_wid: Optional[str] = None) -> Generator:
+                    require_wid: Optional[str] = None,
+                    rid_cut: Optional[int] = None) -> Generator:
         # Session FIFO processing (ZooKeeper read-your-writes): the fetch
         # starts only after the responses of all earlier writes arrived, so
         # a read following a write observes it.  Writes themselves pipeline.
@@ -486,6 +507,11 @@ class FaaSKeeperClient:
                     yield pending_write
                 except Exception:
                     pass  # a failed write belongs to its own caller
+        # Distributor deployments: acked ≠ readable — additionally wait for
+        # the region's visibility watermark (before consulting the cache,
+        # so hits observe the same barrier as storage reads).
+        yield from self._await_visibility(
+            self._rid if rid_cut is None else rid_cut)
         if cache_wtype is not None and self._cache is not None:
             cached = self._cache.lookup(path, cache_wtype,
                                         require_watch_id=require_wid)
@@ -527,10 +553,32 @@ class FaaSKeeperClient:
 
     def _read_barrier(self) -> Optional[List]:
         """Snapshot the write barrier at read-issue time for the sharded
-        pipeline (a read must not wait for writes issued after it); the
-        single-leader path keeps its execution-time tail capture."""
-        if self.service.config.leader_shards > 1:
+        and distributor pipelines (a read must not wait for writes issued
+        after it); the single-leader path keeps its execution-time tail
+        capture."""
+        if self.service.config.leader_shards > 1 \
+                or self.service.distribution is not None:
             return self._write_barrier()
+        return None
+
+    def _await_visibility(self, rid_cut: int) -> Generator:
+        """Distributor deployments: hold the read until this session's
+        acked writes (issued before the read — ``rid_cut``) are covered by
+        the ``replicated_tx`` visibility watermark of the region the read
+        is served from.  The write barrier already waited for the
+        responses, so every relevant write has an entry here."""
+        board = self.service.visibility_board
+        if board is None or not self._await_visible:
+            return None
+        # Snapshot the items: response deliveries rebuild the dict while
+        # this generator is suspended in board.wait.
+        for rid, txid in sorted(self._await_visible.items()):
+            if rid > rid_cut:
+                continue
+            yield from board.wait(self.region, txid)
+        self._await_visible = {
+            rid: txid for rid, txid in self._await_visible.items()
+            if not board.visible(self.region, txid)}
         return None
 
     def get_data_async(self, path: str,
@@ -538,6 +586,7 @@ class FaaSKeeperClient:
         self._check_open()
         validate_path(path)
         barrier = self._read_barrier()
+        rid_cut = self._rid
 
         def flow():
             wid = None
@@ -546,7 +595,8 @@ class FaaSKeeperClient:
                                                       watch)
             image = yield from self._read_image(path, barrier,
                                                 cache_wtype=WatchType.DATA,
-                                                require_wid=wid)
+                                                require_wid=wid,
+                                                rid_cut=rid_cut)
             if image is None:
                 raise NoNodeError(path)
             return image.get("data", b""), NodeStat.from_image(image)
@@ -558,11 +608,13 @@ class FaaSKeeperClient:
         self._check_open()
         validate_path(path)
         barrier = self._read_barrier()
+        rid_cut = self._rid
 
         def flow():
             if watch is not None:
                 yield from self._register_watch(path, WatchType.EXISTS, watch)
-            image = yield from self._read_image(path, barrier)
+            image = yield from self._read_image(path, barrier,
+                                                rid_cut=rid_cut)
             if image is None:
                 return None
             return NodeStat.from_image(image)
@@ -574,6 +626,7 @@ class FaaSKeeperClient:
         self._check_open()
         validate_path(path)
         barrier = self._read_barrier()
+        rid_cut = self._rid
 
         def flow():
             wid = None
@@ -581,7 +634,8 @@ class FaaSKeeperClient:
                 wid = yield from self._register_watch(path, WatchType.CHILDREN,
                                                       watch)
             image = yield from self._read_image(
-                path, barrier, cache_wtype=WatchType.CHILDREN, require_wid=wid)
+                path, barrier, cache_wtype=WatchType.CHILDREN,
+                require_wid=wid, rid_cut=rid_cut)
             if image is None:
                 raise NoNodeError(path)
             return sorted(image.get("children", []))
@@ -615,9 +669,11 @@ class FaaSKeeperClient:
         self._check_open()
         validate_path(path)
         barrier = self._read_barrier()
+        rid_cut = self._rid
 
         def flow():
-            image = yield from self._read_image(path, barrier)
+            image = yield from self._read_image(path, barrier,
+                                                rid_cut=rid_cut)
             if image is None:
                 raise NoNodeError(path)
             return image.get("acl")

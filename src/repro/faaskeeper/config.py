@@ -48,6 +48,29 @@ class FaaSKeeperConfig:
     #: None = auto: enabled for sharded deployments, off for the paper's
     #: single-leader configuration so its published latencies stay intact.
     leader_coalesce: Optional[bool] = None
+    #: Asynchronous distributor stage: after commit verification the leader
+    #: appends a distribution record to per-region FIFO distributor queues
+    #: instead of replicating inline; distributor instances own the
+    #: user-store fan-out, the watch query/consume/fan-out, and the
+    #: per-region ``replicated_tx`` visibility watermark.  False (the
+    #: default) keeps the paper's inline pipeline bit-for-bit intact.
+    distributor_enabled: bool = False
+    #: Maximum distribution records one distributor invocation drains
+    #: (capped by the SQS FIFO batch limit of the cloud profile).
+    distributor_batch: int = 10
+    #: When the client's write acknowledgement is sent:
+    #: ``"on_replicate"`` (default) — after the write is visible in every
+    #: region's user store (the paper's semantics); ``"on_commit"`` — right
+    #: after commit verification, before distribution (requires the
+    #: distributor; read-your-writes then rides the visibility watermark).
+    ack_policy: str = "on_replicate"
+    #: Parallelize the leader's per-affected-path watch query/consume round
+    #: trips in step ➍ (node and parent are independent system-store
+    #: items).  None = auto: on for distributor deployments, off everywhere
+    #: else — including sharded ones — so every distributor-off
+    #: configuration (the PR1 pipeline among them) keeps its pre-existing
+    #: latency fingerprint bit-for-bit.
+    watch_parallel: Optional[bool] = None
     #: Client-side read cache: maximum cached node images per session.
     #: 0 (the default) disables the cache entirely, so the paper's read
     #: pipeline — every get_data/get_children is a user-store round trip —
@@ -73,6 +96,15 @@ class FaaSKeeperConfig:
         if self.client_cache_kb < 0:
             raise ValueError(
                 f"client_cache_kb must be >= 0, got {self.client_cache_kb}")
+        if self.ack_policy not in ("on_replicate", "on_commit"):
+            raise ValueError(f"unknown ack_policy {self.ack_policy!r}")
+        if self.ack_policy == "on_commit" and not self.distributor_enabled:
+            raise ValueError(
+                "ack_policy='on_commit' requires distributor_enabled=True: "
+                "without a distributor nothing replicates after the ack")
+        if self.distributor_batch < 1:
+            raise ValueError(
+                f"distributor_batch must be >= 1, got {self.distributor_batch}")
 
     @property
     def client_cache_enabled(self) -> bool:
@@ -83,6 +115,12 @@ class FaaSKeeperConfig:
         if self.leader_coalesce is None:
             return self.leader_shards > 1
         return self.leader_coalesce
+
+    @property
+    def watch_parallel_enabled(self) -> bool:
+        if self.watch_parallel is None:
+            return self.distributor_enabled
+        return self.watch_parallel
 
     @property
     def primary_region(self) -> str:

@@ -1,0 +1,503 @@
+"""The distributor stage: commit and distribution as separable pipelines.
+
+The paper's scaling argument is that a writer only has to make a
+transaction *durable*; propagating it — replicating the node image into
+every region's user store and fanning out watch notifications — can
+proceed asynchronously behind epoch counters.  The inline leader
+(Algorithm 2) still does both: every write waits on an ``AllOf`` over all
+all-region user-store writes plus the watch-registry round trips before
+the client is acknowledged, so client-perceived write latency grows with
+the region count and the watch density.
+
+With ``FaaSKeeperConfig.distributor_enabled`` the leader stops after
+commit verification (steps ➊–➋ and the cross-shard ordering gates): it
+appends one *distribution record* per committed update to a FIFO
+distributor queue **per region** and — under ``ack_policy="on_commit"`` —
+acknowledges the client immediately.  Each region's distributor function
+drains its queue in batches and
+
+* **coalesces superseded writes across leader batches** — the regional
+  queue aggregates records from every leader shard, so last-writer-wins
+  coalescing (generalizing the leader's in-batch ``_coalesce_plan``) now
+  spans commits that were acknowledged in different leader invocations;
+  a per-path landed-txid memory additionally skips redelivered or
+  cross-batch-stale images;
+* **pipelines independent-path writes** — one process per path applies
+  that path's surviving writes in commit order while different paths
+  proceed in parallel;
+* **owns the watch stage** — the *primary* region's distributor performs
+  the watch query/consume (parallel across paths), adds the triggered
+  instance ids to every region's epoch counter, and invokes the watch
+  fan-out function; epoch accounting therefore moves with the fan-out and
+  the Z4 read stalls keep working.
+
+Consistency is preserved by two boards (both simulation stand-ins for
+conditional reads/writes on system-storage items, the same device as
+:class:`~repro.faaskeeper.service.SessionFenceBoard`):
+
+* :class:`WatchGateBoard` — a regional write stage snapshots the epoch
+  for a record only after the watch stage has processed that record, so
+  any image with ``modified_tx > t`` carries the (still pending) watch
+  ids triggered by transaction ``t`` — Z4's ordering invariant at any
+  ``leader_shards`` × ``regions`` combination;
+* :class:`VisibilityBoard` — tracks which transaction ids have landed in
+  which region.  The distributor also maintains a per-region
+  ``replicated_tx`` watermark item in the system store (one monotone
+  write per batch); the client's session write barrier and the client
+  read cache wait on the board of the region they read from, giving
+  read-your-writes and Z2 session order under ``ack_policy="on_commit"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..cloud.errors import ConditionFailed
+from ..cloud.expressions import Attr, Set
+from ..sim.kernel import AllOf
+from .layout import SYSTEM_STATE, replicated_key
+from .watches import triggered_watch_types
+
+__all__ = ["DistributionStage", "DistributorLogic", "VisibilityBoard",
+           "WatchGateBoard", "armed_watch_ids", "write_user_image"]
+
+
+def armed_watch_ids(watch_item: Optional[Dict[str, Any]],
+                    op_pairs: List[Tuple[str, bool]]) -> List[str]:
+    """Instance ids a path's watch item arms for the given operations —
+    the ids the distributor parks in the epoch counters while the
+    (deferred) consume and fan-out are still in flight."""
+    if not watch_item:
+        return []
+    instances = watch_item.get("inst", {})
+    ids: List[str] = []
+    seen = set()
+    for op, is_parent in op_pairs:
+        for wtype, _event in triggered_watch_types(op, is_parent):
+            if wtype in seen:
+                continue
+            seen.add(wtype)
+            inst = instances.get(wtype.value)
+            if inst and inst.get("sessions"):
+                ids.append(inst["id"])
+    return ids
+
+
+def write_user_image(user_store, fctx, region: str, path: str,
+                     image: Optional[Dict[str, Any]], epoch: List[str],
+                     txid: int, op: str, is_parent: bool) -> Generator:
+    """Apply one replication action to one region's user store.
+
+    Shared by the leader's inline step ➌ and the distributor's write
+    stage, so both pipelines produce byte-identical user-store state.
+    """
+    if image is None:  # pragma: no cover - defensive
+        return None
+    if image.get("deleted"):
+        yield from user_store.delete_node(fctx.ctx, region, path)
+        return None
+    full = dict(image)
+    full["epoch"] = list(epoch)
+    if not is_parent:
+        full["modified_tx"] = txid
+        if op == "create":
+            full["created_tx"] = txid
+        yield from user_store.write_node(fctx.ctx, region, path, full)
+    else:
+        # Parent updates touch metadata only (child list, cversion); the
+        # writer downloads the node and rewrites it around the existing
+        # data (Section 3.2's read-update-write).
+        full.pop("meta_only", None)
+        yield from user_store.update_metadata(fctx.ctx, region, path, full)
+    return None
+
+
+class VisibilityBoard:
+    """Which transaction ids are visible (replicated) in which region.
+
+    The authoritative value is the per-region ``replicated_tx`` item the
+    distributor writes after every batch; the board is the simulation's
+    stand-in for the conditional read a client would issue against it, so
+    waiting models only the *ordering*, not extra storage traffic.
+    """
+
+    def __init__(self, env, regions: List[str]) -> None:
+        self.env = env
+        self.watermark: Dict[str, int] = {region: 0 for region in regions}
+        # Landed ids are kept as a per-region set for the deployment's
+        # lifetime: txids are not contiguous per region (rejected writes
+        # burn ids without ever replicating), so a prunable frontier would
+        # either stall on the holes or claim unlanded ids visible.  Same
+        # lifetime bookkeeping class as the runtime's duration logs.
+        self._visible: Dict[str, set] = {region: set() for region in regions}
+        self._events: Dict[Tuple[str, int], Any] = {}
+
+    def visible(self, region: str, txid: int) -> bool:
+        return txid <= 0 or txid in self._visible[region]
+
+    def event(self, region: str, txid: int):
+        """Event that fires when ``txid`` lands in ``region`` (already
+        triggered for landed ids)."""
+        key = (region, txid)
+        ev = self._events.get(key)
+        if ev is None:
+            ev = self.env.event()
+            ev.defused()
+            if self.visible(region, txid):
+                ev.succeed(None)
+            else:
+                self._events[key] = ev
+        return ev
+
+    def wait(self, region: str, txid: int) -> Generator:
+        ev = self.event(region, txid)
+        if not ev.processed:
+            yield ev
+        return None
+
+    def mark(self, region: str, txids: List[int]) -> None:
+        landed = self._visible[region]
+        for txid in txids:
+            landed.add(txid)
+            if txid > self.watermark[region]:
+                self.watermark[region] = txid
+            ev = self._events.pop((region, txid), None)
+            if ev is not None and not ev.triggered:
+                ev.succeed(None)
+
+
+class WatchGateBoard:
+    """Per-shard watch-stage progress: regional write stages wait here.
+
+    The primary distributor advances a shard's gate to transaction ``t``
+    once the watch instances triggered by every record of that shard up
+    to ``t`` have been consumed and added to the epoch counters.  Records
+    of one shard enter every distributor queue in commit order, so the
+    gate is monotone per shard.
+    """
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self._done: Dict[int, int] = {}
+        self._waiters: Dict[int, List[Tuple[int, Any]]] = {}
+
+    def advance(self, shard: int, txid: int) -> None:
+        if txid <= self._done.get(shard, 0):
+            return
+        self._done[shard] = txid
+        waiters = self._waiters.pop(shard, [])
+        still: List[Tuple[int, Any]] = []
+        for wanted, event in waiters:
+            if txid >= wanted:
+                if not event.triggered:
+                    event.succeed(None)
+            else:
+                still.append((wanted, event))
+        if still:
+            self._waiters[shard] = still
+
+    def wait(self, shard: int, txid: int) -> Generator:
+        while self._done.get(shard, 0) < txid:
+            event = self.env.event()
+            event.defused()
+            self._waiters.setdefault(shard, []).append((txid, event))
+            yield event
+        return None
+
+
+class DistributorLogic:
+    """Behaviour of one region's distributor function.
+
+    The primary region's instance additionally owns the watch stage (the
+    fan-out is a deployment-wide concern and must consume each triggered
+    instance exactly once, so exactly one distributor runs it).
+    """
+
+    def __init__(self, service, region: str, primary: bool) -> None:
+        self.service = service
+        self.region = region
+        self.primary = primary
+        self._epoch_loaded = False
+        #: path -> newest txid whose write landed in this region; the
+        #: cross-batch generalization of the leader's in-batch coalescing
+        #: (also makes redeliveries idempotent).
+        self._last_written: Dict[str, int] = {}
+        self.coalesced_writes = 0
+        self.batches = 0
+
+    # ------------------------------------------------------------ handler
+    def handler(self, fctx, batch: List[Dict[str, Any]]) -> Generator:
+        env = fctx.env
+        stage = self.service.distribution
+        self.batches += 1
+        if not self._epoch_loaded:
+            # Cold-start hydration of the shared epoch mirror, exactly like
+            # a leader sandbox.
+            yield from self.service.epoch_ledger.load(fctx.ctx)
+            self._epoch_loaded = True
+
+        # Newest txid per shard in this batch: what the watch stage
+        # advances the gate to, and what the write stage waits on.
+        newest: Dict[int, int] = {}
+        for rec in batch:
+            if rec["txid"] > newest.get(rec["shard"], 0):
+                newest[rec["shard"]] = rec["txid"]
+        if self.primary:
+            yield from self._watch_stage(fctx, batch, newest)
+        # Z4 gate: epoch snapshots must postdate the watch-stage processing
+        # of every record in this batch, so later images carry the watch
+        # ids of earlier (still undelivered) notifications.
+        for shard, txid in newest.items():
+            yield from stage.watch_gate.wait(shard, txid)
+
+        # Write stage: cross-batch coalescing, then one process per path
+        # (independent paths pipeline; one path's writes stay in commit
+        # order).
+        plan = self._coalesce(batch)
+        t0 = env.now
+        data_kb = sum(
+            len((image or {}).get("data", b"") or b"") / 1024.0
+            for entries in plan.values()
+            for image, _is_parent, _op, _txid in entries)
+        yield fctx.compute(base_ms=0.3, payload_kb=data_kb, per_kb_ms=0.12)
+        epoch = self.service.epoch_ledger.snapshot(self.region)
+        procs = [
+            env.process(self._apply_path(fctx, path, entries, epoch),
+                        name=f"distribute:{path}@{self.region}")
+            for path, entries in plan.items()
+        ]
+        if procs:
+            yield AllOf(env, procs)
+        fctx.record("update_user", env.now - t0)
+
+        # Advance the region's visibility watermark: every record of this
+        # batch is now readable (superseded writes are covered by the
+        # superseding write that landed in the same or an earlier batch).
+        yield from stage.mark_visible(fctx, self.region,
+                                      [rec["txid"] for rec in batch])
+        return None
+
+    # ------------------------------------------------------------ coalescing
+    def _coalesce(self, batch: List[Dict[str, Any]]
+                  ) -> Dict[str, List[Tuple[Optional[Dict[str, Any]], bool, str, int]]]:
+        """Last-writer-wins plan across every record of the batch.
+
+        Returns ``{path: [(image, is_parent, op, txid)]}`` with at most two
+        surviving entries per path, in commit order: a node-image write is
+        superseded by a later node-image write to the same path; a parent
+        metadata update is superseded by *any* later write to the path
+        (the newest node image already carries the newest child list the
+        follower staged against)."""
+        plan: Dict[str, List[Tuple[Optional[Dict[str, Any]], bool, str, int]]] = {}
+        for rec in batch:
+            for path, image, is_parent, op in rec["writes"]:
+                entries = plan.setdefault(path, [])
+                entry = (image, is_parent, op, rec["txid"])
+                if not is_parent:
+                    # Drop every older write to the path.
+                    self.coalesced_writes += len(entries)
+                    plan[path] = [entry]
+                else:
+                    # Metadata update: replaces an older trailing metadata
+                    # update, rides behind a surviving node image.
+                    if entries and entries[-1][1]:
+                        entries[-1] = entry
+                        self.coalesced_writes += 1
+                    else:
+                        entries.append(entry)
+        return plan
+
+    def _apply_path(self, fctx, path: str,
+                    entries: List[Tuple[Optional[Dict[str, Any]], bool, str, int]],
+                    epoch: List[str]) -> Generator:
+        for image, is_parent, op, txid in entries:
+            if self._last_written.get(path, 0) >= txid:
+                # A newer write already landed (redelivered batch, or a
+                # record that was superseded across batches).
+                self.coalesced_writes += 1
+                continue
+            yield from write_user_image(self.service.user_store, fctx,
+                                        self.region, path, image, epoch,
+                                        txid, op, is_parent)
+            self._last_written[path] = txid
+        return None
+
+    # ------------------------------------------------------------ watch stage
+    def _watch_stage(self, fctx, batch: List[Dict[str, Any]],
+                     newest: Dict[int, int]) -> Generator:
+        """Arm the watches triggered by the batch and schedule the fan-out.
+
+        The stage is split in two to keep both ordering invariants of the
+        inline pipeline across the asynchronous seam:
+
+        1. **now** — query the armed instance ids (parallel per path) and
+           add them to the epoch counters *before* opening the Z4 gate, so
+           every image written after this batch carries the ids of the
+           still-undelivered notifications;
+        2. **after visibility** — consume the instances (a fresh query +
+           guarded removal) and invoke the fan-out only once the
+           triggering write landed in every region (replicate-then-notify,
+           inline step ➌ before ➍).  Deferring the *consume* — not just
+           the delivery — closes the stale-admission race: a reader whose
+           cache miss lands between commit and regional visibility joins
+           the still-live instance and is therefore notified (and
+           invalidated) when it fires; only registrations after the
+           consume mint a fresh instance, and those readers already
+           observe the replicated data.
+        """
+        env = fctx.env
+        stage = self.service.distribution
+        t0 = env.now
+        by_path: Dict[str, List[Tuple[str, bool]]] = {}
+        path_txid: Dict[str, int] = {}
+        for rec in batch:
+            for path, op, is_parent in rec["watch_pairs"]:
+                by_path.setdefault(path, []).append((op, is_parent))
+                if rec["txid"] > path_txid.get(path, 0):
+                    path_txid[path] = rec["txid"]
+        procs = {
+            path: env.process(
+                self.service.watch_registry.query(fctx.ctx, path),
+                name=f"watch-stage:{path}")
+            for path in by_path
+        }
+        if procs:
+            yield AllOf(env, list(procs.values()))
+        fctx.record("watch_query", env.now - t0)
+
+        # One fan-out per triggering txid: the delivered event carries the
+        # newest transaction that touched the path in this batch (one-shot
+        # watches legally fold multiple changes into one notification).
+        txid_shard = {rec["txid"]: rec["shard"] for rec in batch}
+        by_txid: Dict[int, List[Tuple[str, List[Tuple[str, bool]], List[str]]]] = {}
+        for path, proc in procs.items():
+            armed = armed_watch_ids(proc.value, by_path[path])
+            if armed:
+                by_txid.setdefault(path_txid[path], []).append(
+                    (path, by_path[path], armed))
+        for txid in sorted(by_txid):
+            entries = by_txid[txid]
+            armed_ids = [wid for _p, _pairs, ids in entries for wid in ids]
+            yield from self.service.epoch_ledger.add(fctx.ctx, armed_ids)
+            env.process(self._fanout_after_visible(txid, txid_shard[txid],
+                                                   entries, armed_ids),
+                        name=f"fanout:{txid}")
+
+        for shard, txid in newest.items():
+            stage.watch_gate.advance(shard, txid)
+        return None
+
+    def _fanout_after_visible(self, txid: int, shard: int,
+                              entries: List[Tuple[str, List[Tuple[str, bool]], List[str]]],
+                              armed_ids: List[str]) -> Generator:
+        """Consume + fan out once ``txid`` is visible in every region,
+        then clear the epoch counters after delivery (WatchCallback).  The
+        wait rides this detached process, so the primary distributor's
+        queue keeps draining while slower regions catch up."""
+        stage = self.service.distribution
+        ctx = self.service.system_ctx
+        for region in self.service.config.regions:
+            yield from stage.visibility.wait(region, txid)
+        triggered: List = []
+        for path, pairs, _armed in entries:
+            found = yield from self.service.watch_registry.query_consume_ops(
+                ctx, path, pairs)
+            triggered.extend(found)
+        if triggered:
+            done = self.service.invoke_watch_fn(triggered, txid, shard=shard,
+                                                origin="distributor")
+            try:
+                yield done
+            except Exception:
+                pass  # fan-out retried internally; clear regardless
+        # The armed ids are what the epoch carries; the consumed instances
+        # may differ (a GC sweep or an intervening consume can have
+        # replaced them) — clear exactly what was added.
+        yield from self.service.epoch_ledger.remove(ctx, armed_ids)
+        return None
+
+
+class DistributionStage:
+    """Deployment-side wiring of the distributor: queues, functions,
+    visibility and watch-gate boards."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        config = service.config
+        cloud = service.cloud
+        env = cloud.env
+        self.visibility = VisibilityBoard(env, config.regions)
+        self.watch_gate = WatchGateBoard(env)
+        self.logics: Dict[str, DistributorLogic] = {}
+        self.queues: Dict[str, Any] = {}
+        self.fns: Dict[str, Any] = {}
+        primary = config.primary_region
+        for region in config.regions:
+            logic = DistributorLogic(service, region,
+                                     primary=(region == primary))
+            # The primary region keeps the bare name; the fan-out scales
+            # with the region count by adding one function + queue each.
+            suffix = "" if region == primary else f"-{region}"
+            fn = cloud.deploy_function(
+                f"fk-distributor{suffix}", logic.handler,
+                memory_mb=config.function_memory_mb, arch=config.arch,
+                cpu_alloc=config.cpu_alloc, region=region)
+            queue = cloud.fifo_queue(
+                f"fk-dist-q{suffix}", label="sqs", max_receive=None)
+            queue.attach(fn, batch_limit=config.distributor_batch)
+            self.logics[region] = logic
+            self.queues[region] = queue
+            self.fns[region] = fn
+
+    # ------------------------------------------------------------ publish
+    def record_size_kb(self, record: Dict[str, Any]) -> float:
+        data_kb = sum(
+            len((image or {}).get("data", b"") or b"") / 1024.0
+            for _path, image, _is_parent, _op in record["writes"])
+        return 0.2 + data_kb
+
+    def publish(self, fctx, record: Dict[str, Any]) -> Generator:
+        """Append one distribution record to every region's queue (the
+        enqueues run in parallel; the leader awaits them so per-path queue
+        order follows commit order before the txid is popped)."""
+        env = fctx.env
+        size_kb = self.record_size_kb(record)
+        procs = [
+            env.process(self._send_one(fctx, region, record, size_kb),
+                        name=f"dist-publish:{region}")
+            for region in self.service.config.regions
+        ]
+        yield AllOf(env, procs)
+        return None
+
+    def _send_one(self, fctx, region: str, record: Dict[str, Any],
+                  size_kb: float) -> Generator:
+        yield from self.queues[region].send(
+            fctx.ctx, dict(record), group="dist", size_kb=size_kb)
+        return None
+
+    # ------------------------------------------------------------ visibility
+    def mark_visible(self, fctx, region: str, txids: List[int]) -> Generator:
+        """One monotone ``replicated_tx`` watermark write per batch, then
+        open the in-memory board the client barriers wait on."""
+        top = max(txids)
+        try:
+            yield from self.service.system_store.update_item(
+                fctx.ctx, SYSTEM_STATE, replicated_key(region),
+                updates=[Set("txid", top)],
+                condition=Attr("txid").not_exists() | (Attr("txid") < top),
+                payload_kb=0.032,
+            )
+        except ConditionFailed:  # pragma: no cover - redelivered batch
+            pass
+        self.visibility.mark(region, txids)
+        return None
+
+    # ------------------------------------------------------------ accounting
+    def stats(self) -> Dict[str, float]:
+        return {
+            "batches": float(sum(lg.batches for lg in self.logics.values())),
+            "coalesced_writes": float(
+                sum(lg.coalesced_writes for lg in self.logics.values())),
+            "watermarks": dict(self.visibility.watermark),
+        }

@@ -40,7 +40,7 @@ from .model import (
     parent_path,
 )
 
-__all__ = ["FollowerLogic", "merge_multi_commit"]
+__all__ = ["FollowerLogic", "merge_multi_commit", "multi_replication_plan"]
 
 #: Lock-acquisition retry policy for contended nodes.
 LOCK_RETRIES = 60
@@ -107,6 +107,62 @@ def merge_multi_commit(subs: List[Dict[str, Any]]):
                 # cversion, which no storage item carries yet.
                 prec["parent_prev_cversion"] = sub["parent_prev_cversion"]
     return order, merged
+
+
+def multi_replication_plan(subs: List[Dict[str, Any]]
+                           ) -> List[Tuple[str, Dict[str, Any], bool, str]]:
+    """Per-path final user-store actions of a committed multi.
+
+    Several members of one transaction may touch the same path (set after
+    set, create then set, a node that is also a sibling's parent): the
+    user store needs exactly one write per path, carrying the LAST staged
+    node image merged with any later parent-side metadata.  Staged images
+    are produced against the follower's running overlay, so the last image
+    for a path already reflects every earlier member's effect.
+
+    Returns ``[(path, image, is_parent, op)]`` in first-touch order;
+    ``op == "create"`` marks a node whose final state was created by this
+    multi (the leader stamps ``created_tx``), ``is_parent`` marks
+    metadata-only updates.
+
+    The follower computes the plan once at staging time and hands it to
+    the leader inside the envelope (``replication_plan``), so neither the
+    leader nor the distributor stage re-derives it per delivery.
+    """
+    order: List[str] = []
+    state: Dict[str, List[Any]] = {}  # path -> [image, is_parent, op]
+    for sub in subs:
+        if sub["op"] == "check":
+            continue
+        entries = [(sub["path"], sub["node_image"], False)]
+        if sub.get("parent"):
+            entries.append((sub["parent"], sub["parent_image"], True))
+        for path, image, is_parent in entries:
+            cur = state.get(path)
+            if cur is None:
+                order.append(path)
+                state[path] = [dict(image), is_parent, sub["op"]]
+            elif not is_parent:
+                if image.get("deleted"):
+                    state[path] = [dict(image), False, "delete"]
+                else:
+                    was_created = (not cur[1] and cur[2] == "create"
+                                   and not cur[0].get("deleted"))
+                    op = ("create" if sub["op"] == "create" or was_created
+                          else sub["op"])
+                    state[path] = [dict(image), False, op]
+            else:
+                img, was_parent, op = cur
+                if was_parent or img.get("deleted"):
+                    state[path] = [dict(image), True, sub["op"]]
+                else:
+                    # Graft the newer child-list metadata onto the member's
+                    # node image: the full image (with data) still wins.
+                    img = dict(img)
+                    img["children"] = list(image.get("children", []))
+                    img["cversion"] = image.get("cversion", 0)
+                    state[path] = [img, False, op]
+    return [(p, state[p][0], state[p][1], state[p][2]) for p in order]
 
 
 class FollowerLogic:
@@ -429,6 +485,7 @@ class FollowerLogic:
             "session": req.session, "rid": req.rid, "op": "multi",
             "path": primary, "parent": None,
             "subs": subs, "results": results, "commit_paths": commit_paths,
+            "replication_plan": multi_replication_plan(subs),
         }
         board = self.service.fence_board
         shard = self.service.multi_shard_of(written)

@@ -50,6 +50,7 @@ __all__ = [
     "USER_TABLE",
     "USER_BUCKET",
     "epoch_key",
+    "replicated_key",
     "new_system_node",
     "user_image_from_system",
     "top_component",
@@ -67,6 +68,13 @@ USER_BUCKET = "fk-user-data"
 def epoch_key(region: str) -> str:
     """System-state key of the region-wide epoch counter (Section 3.4)."""
     return f"epoch:{region}"
+
+
+def replicated_key(region: str) -> str:
+    """System-state key of a region's ``replicated_tx`` visibility
+    watermark: the newest transaction id whose user-store write has landed
+    in that region (maintained by the distributor stage)."""
+    return f"replicated:{region}"
 
 
 def top_component(path: str) -> str:

@@ -35,6 +35,14 @@ the paper's single-leader Algorithm 2 unchanged):
   later write to the same path is skipped; the corresponding client
   notifications are held back until the superseding write has landed, so
   acknowledged data is always readable.
+
+With ``distributor_enabled`` the leader stops after ➊–➋ (plus the fence
+and pending-list gates): steps ➌–➍ move into the per-region distributor
+stage (:mod:`repro.faaskeeper.distributor`) and the client is
+acknowledged per ``ack_policy`` — immediately after commit verification
+under ``"on_commit"``, or once every region's user store holds the write
+under ``"on_replicate"`` (the wait rides a spawned process, off the
+leader's critical path).
 """
 
 from __future__ import annotations
@@ -44,7 +52,8 @@ from typing import Any, Dict, FrozenSet, Generator, List, Optional, Tuple
 from ..cloud.errors import ConditionFailed
 from ..cloud.expressions import Attr, ListAppend, ListRemove, Set
 from ..sim.kernel import AllOf
-from .follower import merge_multi_commit
+from .distributor import write_user_image
+from .follower import merge_multi_commit, multi_replication_plan
 from .layout import SYSTEM_NODES
 from .model import Response
 
@@ -53,58 +62,6 @@ __all__ = ["LeaderLogic", "RetryBatch", "multi_replication_plan"]
 
 class RetryBatch(Exception):
     """Raised to make the FIFO queue redeliver the current batch."""
-
-
-def multi_replication_plan(subs: List[Dict[str, Any]]
-                           ) -> List[Tuple[str, Dict[str, Any], bool, str]]:
-    """Per-path final user-store actions of a committed multi.
-
-    Several members of one transaction may touch the same path (set after
-    set, create then set, a node that is also a sibling's parent): the
-    user store needs exactly one write per path, carrying the LAST staged
-    node image merged with any later parent-side metadata.  Staged images
-    are produced against the follower's running overlay, so the last image
-    for a path already reflects every earlier member's effect.
-
-    Returns ``[(path, image, is_parent, op)]`` in first-touch order;
-    ``op == "create"`` marks a node whose final state was created by this
-    multi (the leader stamps ``created_tx``), ``is_parent`` marks
-    metadata-only updates.
-    """
-    order: List[str] = []
-    state: Dict[str, List[Any]] = {}  # path -> [image, is_parent, op]
-    for sub in subs:
-        if sub["op"] == "check":
-            continue
-        entries = [(sub["path"], sub["node_image"], False)]
-        if sub.get("parent"):
-            entries.append((sub["parent"], sub["parent_image"], True))
-        for path, image, is_parent in entries:
-            cur = state.get(path)
-            if cur is None:
-                order.append(path)
-                state[path] = [dict(image), is_parent, sub["op"]]
-            elif not is_parent:
-                if image.get("deleted"):
-                    state[path] = [dict(image), False, "delete"]
-                else:
-                    was_created = (not cur[1] and cur[2] == "create"
-                                   and not cur[0].get("deleted"))
-                    op = ("create" if sub["op"] == "create" or was_created
-                          else sub["op"])
-                    state[path] = [dict(image), False, op]
-            else:
-                img, was_parent, op = cur
-                if was_parent or img.get("deleted"):
-                    state[path] = [dict(image), True, sub["op"]]
-                else:
-                    # Graft the newer child-list metadata onto the member's
-                    # node image: the full image (with data) still wins.
-                    img = dict(img)
-                    img["children"] = list(image.get("children", []))
-                    img["cversion"] = image.get("cversion", 0)
-                    state[path] = [img, False, op]
-    return [(p, state[p][0], state[p][1], state[p][2]) for p in order]
 
 
 class LeaderLogic:
@@ -125,6 +82,13 @@ class LeaderLogic:
     @property
     def sharded(self) -> bool:
         return self.service.config.leader_shards > 1
+
+    @property
+    def distribution(self):
+        """The deployment's distributor stage (None when disabled: the
+        leader then replicates and fans out watches inline, as in the
+        paper's Algorithm 2)."""
+        return self.service.distribution
 
     def _load_epoch(self, fctx) -> Generator:
         if not self._epoch_loaded:
@@ -282,7 +246,11 @@ class LeaderLogic:
         self._pending_callbacks = []
         self._deferred = []
         self._skipped_images = {}
-        plan = self._coalesce_plan(batch)
+        # With the distributor stage the leader never writes the user store,
+        # so in-batch coalescing (and its notification deferral) moves
+        # downstream, where it generalizes across leader batches.
+        plan = ({} if self.distribution is not None
+                else self._coalesce_plan(batch))
         for i, msg in enumerate(batch):
             yield from self.process(fctx, msg,
                                     skip_paths=plan.get(i, frozenset()))
@@ -363,10 +331,26 @@ class LeaderLogic:
         if self.sharded and msg.get("parent"):
             yield from self._await_path_turn(fctx, msg["parent"], txid)
 
-        # ➌ replicate to user stores, all regions in parallel
+        # Distributor stage: hand replication + watch fan-out to the
+        # per-region distributor queues; ➌/➍ leave the critical path.
+        if self.distribution is not None:
+            writes = [(p, image, is_parent, msg["op"])
+                      for p, image, is_parent in affected]
+            pairs = [(p, msg["op"], is_parent)
+                     for p, _image, is_parent in affected]
+            yield from self._distribute_and_finish(
+                fctx, msg, txid, writes, pairs,
+                [p for p, _image, _is_parent in affected])
+            return None
+
+        # ➌ replicate to user stores, all regions in parallel (one epoch
+        # snapshot per region per message — the snapshot cannot change
+        # while the replication processes are being spawned)
         t0 = env.now
         data_kb = len(msg["node_image"].get("data", b"") or b"") / 1024.0
         yield fctx.compute(base_ms=0.3, payload_kb=data_kb, per_kb_ms=0.12)
+        epochs = {region: self.epoch_snapshot(region)
+                  for region in self.service.config.regions}
         procs = []
         for target_path, image, is_parent in affected:
             if target_path in skip_paths:
@@ -375,24 +359,17 @@ class LeaderLogic:
                 continue
             self._skipped_images.pop(target_path, None)
             for region in self.service.config.regions:
-                epoch = self.epoch_snapshot(region)
                 procs.append(env.process(
-                    self._replicate(fctx, region, target_path, image, epoch,
-                                    txid, msg["op"], is_parent),
+                    self._replicate(fctx, region, target_path, image,
+                                    epochs[region], txid, msg["op"], is_parent),
                     name=f"replicate:{target_path}@{region}"))
         if procs:
             yield AllOf(env, procs)
         fctx.record("update_user", env.now - t0)
 
         # ➍ watches: query + consume + fan out
-        t0 = env.now
-        triggered: List = []
-        for target_path, _image, is_parent in affected:
-            witem = yield from self.service.watch_registry.query(fctx.ctx, target_path)
-            found = yield from self.service.watch_registry.consume(
-                fctx.ctx, target_path, msg["op"], is_parent, witem)
-            triggered.extend(found)
-        fctx.record("watch_query", env.now - t0)
+        triggered = yield from self._consume_watches(
+            fctx, [(p, msg["op"], is_parent) for p, _img, is_parent in affected])
         if triggered:
             watch_ids = [t.watch_id for t in triggered]
             yield from self.service.epoch_ledger.add(fctx.ctx, watch_ids)
@@ -405,11 +382,120 @@ class LeaderLogic:
 
         # ➎ notify + pop
         yield from self._queue_success(fctx, msg, txid, defer)
+        yield from self._pop_paths(fctx, [p for p, _img, _meta in affected], txid)
+        self._pass_fence(msg)
+        return None
+
+    # ------------------------------------------------------------ distribution
+    def _distribute_and_finish(self, fctx, msg: Dict[str, Any], txid: int,
+                               writes: List[Tuple[str, Optional[Dict[str, Any]], bool, str]],
+                               watch_pairs: List[Tuple[str, str, bool]],
+                               pop_paths: List[str]) -> Generator:
+        """Post-verification tail of the distributor pipeline: publish one
+        distribution record per region, acknowledge per ``ack_policy``,
+        pop the transaction and advance the session fence.
+
+        The publish is awaited *before* the pop: a competing shard only
+        starts (via the per-path pending-list gate) after the pop, so the
+        regional queues receive same-path records in commit order.
+        """
+        env = fctx.env
+        record = {
+            "txid": txid,
+            "shard": self.shard,
+            "session": msg["session"],
+            "writes": writes,
+            "watch_pairs": watch_pairs,
+        }
         t0 = env.now
-        for target_path, _image, _is_parent in affected:
+        yield from self.distribution.publish(fctx, record)
+        fctx.record("distribute", env.now - t0)
+        if self.service.config.ack_policy == "on_commit":
+            yield from self._queue_success(fctx, msg, txid, defer=False)
+        else:
+            # on_replicate keeps the paper's acknowledgement semantics —
+            # the client hears back once every region holds the write —
+            # without re-serializing the leader: the wait rides a spawned
+            # process the handler lingers on.
+            events = [self.distribution.visibility.event(region, txid)
+                      for region in self.service.config.regions]
+            self._pending_callbacks.append(env.process(
+                self._ack_after(fctx, msg, txid, events),
+                name=f"ack-after:{txid}"))
+        yield from self._pop_paths(fctx, pop_paths, txid)
+        self._pass_fence(msg)
+        return None
+
+    def _ack_after(self, fctx, msg: Dict[str, Any], txid: int,
+                   events: List) -> Generator:
+        pending = [ev for ev in events if not ev.processed]
+        if pending:
+            yield AllOf(fctx.env, pending)
+        yield from self._notify_success(fctx, msg, txid)
+        return None
+
+    # ------------------------------------------------------------ shared steps
+    def _consume_watches(self, fctx,
+                         pairs: List[Tuple[str, str, bool]]) -> Generator:
+        """Step ➍ prelude: query + consume the watches the affected paths
+        trigger.  Node and parent are independent system-store items, so a
+        sharded (or distributor) deployment runs their round trips in
+        parallel; the paper configuration keeps them sequential so its
+        calibrated latency split stays intact."""
+        env = fctx.env
+        t0 = env.now
+        triggered: List = []
+        if self.service.config.watch_parallel_enabled and len(pairs) > 1:
+            procs = [env.process(
+                self.service.watch_registry.query_consume(
+                    fctx.ctx, path, op, is_parent),
+                name=f"watch:{path}") for path, op, is_parent in pairs]
+            yield AllOf(env, procs)
+            for proc in procs:
+                triggered.extend(proc.value)
+        else:
+            for path, op, is_parent in pairs:
+                witem = yield from self.service.watch_registry.query(
+                    fctx.ctx, path)
+                found = yield from self.service.watch_registry.consume(
+                    fctx.ctx, path, op, is_parent, witem)
+                triggered.extend(found)
+        fctx.record("watch_query", env.now - t0)
+        return triggered
+
+    def _consume_watches_multi(self, fctx,
+                               op_pairs: Dict[str, List[Tuple[str, bool]]]
+                               ) -> Generator:
+        """Step ➍ for a multi: one query/consume per touched path, in
+        parallel when the deployment allows it."""
+        env = fctx.env
+        t0 = env.now
+        triggered: List = []
+        if self.service.config.watch_parallel_enabled and len(op_pairs) > 1:
+            procs = [env.process(
+                self.service.watch_registry.query_consume_ops(
+                    fctx.ctx, path, pairs),
+                name=f"watch:{path}") for path, pairs in op_pairs.items()]
+            yield AllOf(env, procs)
+            for proc in procs:
+                triggered.extend(proc.value)
+        else:
+            for path, pairs in op_pairs.items():
+                witem = yield from self.service.watch_registry.query(
+                    fctx.ctx, path)
+                found = yield from self.service.watch_registry.consume_ops(
+                    fctx.ctx, path, pairs, witem)
+                triggered.extend(found)
+        fctx.record("watch_query", env.now - t0)
+        return triggered
+
+    def _pop_paths(self, fctx, paths: List[str], txid: int) -> Generator:
+        env = fctx.env
+        t0 = env.now
+        for path in paths:
             try:
-                yield from sys_store.update_item(
-                    fctx.ctx, SYSTEM_NODES, target_path,
+                yield from self.service.system_store.update_item(
+                    fctx.ctx, SYSTEM_NODES, path,
                     updates=[ListRemove("transactions", [txid]),
                              Set("applied_tx", txid)],
                     condition=Attr("applied_tx").not_exists()
@@ -419,7 +505,6 @@ class LeaderLogic:
             except ConditionFailed:  # pragma: no cover - concurrent watermark
                 pass
         fctx.record("pop", env.now - t0)
-        self._pass_fence(msg)
         return None
 
     # ------------------------------------------------------------ multi
@@ -437,7 +522,11 @@ class LeaderLogic:
 
         yield from self._wait_fence(msg)
         defer = bool(skip_paths)
-        affected = multi_replication_plan(msg["subs"])
+        # The follower computes the per-path plan at staging time and ships
+        # it in the envelope; rebuild only for messages that predate the
+        # handoff (older queue payloads in long-running simulations).
+        affected = (msg.get("replication_plan")
+                    or multi_replication_plan(msg["subs"]))
         commit_paths = msg["commit_paths"]
 
         # ➊ verify commit status on the primary path: the batch committed
@@ -474,11 +563,32 @@ class LeaderLogic:
                 if path != primary:
                     yield from self._await_path_turn(fctx, path, txid)
 
-        # ➌ replicate per-path final images, all regions in parallel
+        # ➍ prep: which watch types each touched path triggers
+        op_pairs: Dict[str, List[Tuple[str, bool]]] = {}
+        for sub in msg["subs"]:
+            if sub["op"] == "check":
+                continue
+            op_pairs.setdefault(sub["path"], []).append((sub["op"], False))
+            if sub.get("parent"):
+                op_pairs.setdefault(sub["parent"], []).append((sub["op"], True))
+
+        # Distributor stage: the whole batch rides one distribution record.
+        if self.distribution is not None:
+            pairs = [(path, op, is_parent)
+                     for path, pair_list in op_pairs.items()
+                     for op, is_parent in pair_list]
+            yield from self._distribute_and_finish(
+                fctx, msg, txid, list(affected), pairs, commit_paths)
+            return None
+
+        # ➌ replicate per-path final images, all regions in parallel (one
+        # epoch snapshot per region per message)
         t0 = env.now
         data_kb = sum(len(sub["node_image"].get("data", b"") or b"") / 1024.0
                       for sub in msg["subs"] if sub["op"] != "check")
         yield fctx.compute(base_ms=0.3, payload_kb=data_kb, per_kb_ms=0.12)
+        epochs = {region: self.epoch_snapshot(region)
+                  for region in self.service.config.regions}
         procs = []
         for path, image, is_parent, op in affected:
             if path in skip_paths:
@@ -486,9 +596,8 @@ class LeaderLogic:
                 continue
             self._skipped_images.pop(path, None)
             for region in self.service.config.regions:
-                epoch = self.epoch_snapshot(region)
                 procs.append(env.process(
-                    self._replicate(fctx, region, path, image, epoch,
+                    self._replicate(fctx, region, path, image, epochs[region],
                                     txid, op, is_parent),
                     name=f"replicate:{path}@{region}"))
         if procs:
@@ -497,21 +606,7 @@ class LeaderLogic:
 
         # ➍ watches: one query/consume per touched path; every instance
         # fires exactly once per committed multi, with the batch txid
-        t0 = env.now
-        op_pairs: Dict[str, List[Tuple[str, bool]]] = {}
-        for sub in msg["subs"]:
-            if sub["op"] == "check":
-                continue
-            op_pairs.setdefault(sub["path"], []).append((sub["op"], False))
-            if sub.get("parent"):
-                op_pairs.setdefault(sub["parent"], []).append((sub["op"], True))
-        triggered: List = []
-        for path, pairs in op_pairs.items():
-            witem = yield from self.service.watch_registry.query(fctx.ctx, path)
-            found = yield from self.service.watch_registry.consume_ops(
-                fctx.ctx, path, pairs, witem)
-            triggered.extend(found)
-        fctx.record("watch_query", env.now - t0)
+        triggered = yield from self._consume_watches_multi(fctx, op_pairs)
         if triggered:
             watch_ids = [t.watch_id for t in triggered]
             yield from self.service.epoch_ledger.add(fctx.ctx, watch_ids)
@@ -524,20 +619,7 @@ class LeaderLogic:
 
         # ➎ notify (one response, per-op results) + pop the batch txid
         yield from self._queue_success(fctx, msg, txid, defer)
-        t0 = env.now
-        for path in commit_paths:
-            try:
-                yield from sys_store.update_item(
-                    fctx.ctx, SYSTEM_NODES, path,
-                    updates=[ListRemove("transactions", [txid]),
-                             Set("applied_tx", txid)],
-                    condition=Attr("applied_tx").not_exists()
-                    | (Attr("applied_tx") < txid),
-                    payload_kb=0.032,
-                )
-            except ConditionFailed:  # pragma: no cover - concurrent watermark
-                pass
-        fctx.record("pop", env.now - t0)
+        yield from self._pop_paths(fctx, commit_paths, txid)
         self._pass_fence(msg)
         return None
 
@@ -686,25 +768,8 @@ class LeaderLogic:
     def _replicate(self, fctx, region: str, path: str,
                    image: Optional[Dict[str, Any]], epoch: List[str],
                    txid: int, op: str, is_parent: bool) -> Generator:
-        store = self.service.user_store
-        if image is None:  # pragma: no cover - defensive
-            return None
-        if image.get("deleted"):
-            yield from store.delete_node(fctx.ctx, region, path)
-            return None
-        full = dict(image)
-        full["epoch"] = epoch
-        if not is_parent:
-            full["modified_tx"] = txid
-            if op == "create":
-                full["created_tx"] = txid
-            yield from store.write_node(fctx.ctx, region, path, full)
-        else:
-            # Parent updates touch metadata only (child list, cversion); the
-            # leader downloads the node and rewrites it around the existing
-            # data (Section 3.2's read-update-write).
-            full.pop("meta_only", None)
-            yield from store.update_metadata(fctx.ctx, region, path, full)
+        yield from write_user_image(self.service.user_store, fctx, region,
+                                    path, image, epoch, txid, op, is_parent)
         return None
 
     def _notify_success(self, fctx, msg: Dict[str, Any], txid: int) -> Generator:

@@ -9,6 +9,10 @@
   default ``leader_shards=1``); the znode tree is partitioned over the
   shards by top-level path component;
 * a follower function shared by all per-session FIFO queues;
+* optionally (``distributor_enabled``) one distributor FIFO queue +
+  function per region: the asynchronous stage that replicates committed
+  writes into the regional user stores, owns the watch fan-out and
+  maintains the per-region ``replicated_tx`` visibility watermark;
 * the watch fan-out free function;
 * the scheduled heartbeat function (auto-suspended at zero sessions —
   the scale-to-zero property of Table 1).
@@ -27,6 +31,7 @@ from ..cloud.queues import SharedSequence
 from ..primitives import TimedLock
 from .client import FaaSKeeperClient
 from .config import FaaSKeeperConfig
+from .distributor import DistributionStage
 from .follower import FollowerLogic
 from .gc import GarbageCollectorLogic
 from .heartbeat import HeartbeatLogic
@@ -37,6 +42,7 @@ from .layout import (
     SYSTEM_WATCHES,
     epoch_key,
     new_system_node,
+    replicated_key,
     shard_of_path,
     user_image_from_system,
 )
@@ -178,6 +184,10 @@ class FaaSKeeperService:
         #: sequence suffix remapping a top-level create).
         self.shard_hint_mismatches = 0
 
+        # --- distributor stage (None = the paper's inline pipeline) ----------
+        self.distribution: Optional[DistributionStage] = (
+            DistributionStage(self) if config.distributor_enabled else None)
+
         self.heartbeat_task = cloud.runtime.schedule(
             self.heartbeat_fn, period_ms=config.heartbeat_period_ms)
         self.heartbeat_task.stop()  # scale-to-zero until a client connects
@@ -228,6 +238,12 @@ class FaaSKeeperService:
                 session=body["session"], rid=body["rid"], ok=False,
                 error="system_failure"))
 
+    @property
+    def visibility_board(self):
+        """Per-region replication visibility (None without the distributor:
+        the leader's inline replication makes acked writes visible)."""
+        return self.distribution.visibility if self.distribution else None
+
     # ------------------------------------------------------------ routing
     def shard_of(self, path: str) -> int:
         """Leader shard owning ``path`` (hash of the top-level component)."""
@@ -262,6 +278,11 @@ class FaaSKeeperService:
         for region in self.config.regions:
             self.system_store.table(SYSTEM_STATE)._store(
                 epoch_key(region), {"items": []})
+        if self.distribution is not None:
+            # visibility watermarks start at zero (nothing replicated yet)
+            for region in self.config.regions:
+                self.system_store.table(SYSTEM_STATE)._store(
+                    replicated_key(region), {"txid": 0})
 
     # ------------------------------------------------------------ sessions
     @property
@@ -319,11 +340,14 @@ class FaaSKeeperService:
             client._deliver_watch(watch_id, event)
         return None
 
-    def invoke_watch_fn(self, triggered: List, txid: int, shard: int = 0):
-        """Free-function invocation of the watch fan-out (leader step ➍)."""
+    def invoke_watch_fn(self, triggered: List, txid: int, shard: int = 0,
+                        origin: str = "leader"):
+        """Free-function invocation of the watch fan-out (leader step ➍,
+        or the distributor's watch stage when that pipeline is enabled)."""
         payload = {
             "txid": txid,
             "shard": shard,
+            "origin": origin,
             "watches": [
                 {
                     "watch_id": t.watch_id,
@@ -386,6 +410,8 @@ class FaaSKeeperService:
             "follower": by.get("fn:fk-follower", 0.0),
             "leader": sum(v for k, v in by.items()
                           if k.startswith("fn:fk-leader")),
+            "distributor": sum(v for k, v in by.items()
+                               if k.startswith("fn:fk-distributor")),
             "watch": by.get("fn:fk-watch", 0.0),
             "heartbeat": by.get("fn:fk-heartbeat", 0.0),
         }

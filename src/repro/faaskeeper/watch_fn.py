@@ -34,13 +34,18 @@ class WatchFanoutLogic:
     def __init__(self, service) -> None:
         self.service = service
         self.deliveries_by_shard: Dict[int, int] = defaultdict(int)
+        #: Which pipeline stage invoked the fan-out ("leader" for the
+        #: inline step ➍, "distributor" for the asynchronous watch stage);
+        #: the distributor tests assert the fan-out moved off the leader.
+        self.deliveries_by_origin: Dict[str, int] = defaultdict(int)
 
     def handler(self, fctx, payload: Dict[str, Any]) -> Generator:
-        """payload = {"txid": int, "shard": int, "watches": [{watch_id,
-        path, event, sessions}, ...]}"""
+        """payload = {"txid": int, "shard": int, "origin": str,
+        "watches": [{watch_id, path, event, sessions}, ...]}"""
         env = fctx.env
         txid = payload["txid"]
         shard = payload.get("shard", 0)
+        origin = payload.get("origin", "leader")
         deliveries = []
         for watch in payload["watches"]:
             event = WatchedEvent(
@@ -57,4 +62,5 @@ class WatchFanoutLogic:
         if deliveries:
             yield AllOf(env, deliveries)
         self.deliveries_by_shard[shard] += len(deliveries)
+        self.deliveries_by_origin[origin] += len(deliveries)
         return len(deliveries)

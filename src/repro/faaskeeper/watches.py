@@ -216,6 +216,20 @@ class WatchRegistry:
         return (yield from self._consume_types(ctx, path, type_events,
                                                watch_item))
 
+    def query_consume(self, ctx: OpContext, path: str, op: str,
+                      is_parent: bool) -> Generator[Any, Any, List[TriggeredWatch]]:
+        """Fused query + consume for one path (the leader's parallel step ➍
+        and the distributor's watch stage run one of these per path)."""
+        witem = yield from self.query(ctx, path)
+        return (yield from self.consume(ctx, path, op, is_parent, witem))
+
+    def query_consume_ops(self, ctx: OpContext, path: str,
+                          op_pairs: List[Tuple[str, bool]],
+                          ) -> Generator[Any, Any, List[TriggeredWatch]]:
+        """Fused query + multi-op consume for one path."""
+        witem = yield from self.query(ctx, path)
+        return (yield from self.consume_ops(ctx, path, op_pairs, witem))
+
     def _consume_types(self, ctx: OpContext, path: str,
                        type_events: List[Tuple[WatchType, EventType]],
                        watch_item: Optional[Dict[str, Any]],

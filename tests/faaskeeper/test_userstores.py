@@ -2,8 +2,11 @@
 
 import pytest
 
+from repro.cloud.context import OpContext
 from repro.faaskeeper.layout import USER_BUCKET, USER_TABLE
 from .conftest import make_service
+
+TWO_REGIONS = ["us-east-1", "eu-west-1"]
 
 
 @pytest.mark.parametrize("kind", ["s3", "dynamodb", "hybrid", "redis"])
@@ -113,3 +116,101 @@ def test_write_latency_s3_grows_faster_than_dynamodb_small():
         times.sort()
         medians[kind] = times[len(times) // 2]
     assert medians["dynamodb"] < medians["s3"]
+
+
+# ------------------------------------------------------- backend routing
+@pytest.mark.parametrize("region", TWO_REGIONS)
+def test_hybrid_delete_small_node_skips_s3(region):
+    """Hybrid delete routing: a small node never touched S3, so deleting
+    it must issue no object-store delete — only the key-value item goes."""
+    cloud, service = make_service(user_store="hybrid", regions=TWO_REGIONS)
+    store = service.user_store
+    ctx = OpContext(region=region)
+    image = {"path": "/small", "data": b"x" * 512, "version": 0,
+             "cversion": 0, "children": [], "epoch": []}
+    cloud.run_process(store.write_node(ctx, region, "/small", image))
+    s3 = cloud.objectstore("s3", region=region)
+    s3_cost_before = cloud.meter.by_service().get("s3", 0.0)
+    cloud.run_process(store.delete_node(ctx, region, "/small"))
+    kv = cloud.kv("dynamodb:user", region=region)
+    assert kv.table(USER_TABLE).raw("/small") is None
+    assert s3.raw(USER_BUCKET, "/small") is None
+    # no object-store request was issued at all
+    assert cloud.meter.by_service().get("s3", 0.0) == s3_cost_before
+
+
+@pytest.mark.parametrize("region", TWO_REGIONS)
+def test_hybrid_metadata_update_keeps_spilled_data_in_s3(region):
+    """Hybrid metadata routing: a parent child-list update on a large node
+    rewrites only the key-value item; the S3 object is left untouched and
+    reads still reassemble data + fresh metadata."""
+    cloud, service = make_service(user_store="hybrid", regions=TWO_REGIONS)
+    store = service.user_store
+    ctx = OpContext(region=region)
+    payload = b"x" * (64 * 1024)
+    image = {"path": "/big", "data": payload, "version": 1,
+             "cversion": 0, "children": [], "epoch": []}
+    cloud.run_process(store.write_node(ctx, region, "/big", image))
+    s3_cost = cloud.meter.by_service().get("s3", 0.0)
+    meta = {"path": "/big", "version": 1, "cversion": 3,
+            "children": ["kid"], "epoch": []}
+    cloud.run_process(store.update_metadata(ctx, region, "/big", meta))
+    # no second object upload: the spilled data was not rewritten
+    assert cloud.meter.by_service().get("s3", 0.0) == s3_cost
+    read = cloud.run_process(store.read_node(ctx, region, "/big"))
+    assert read["data"] == payload
+    assert read["children"] == ["kid"] and read["cversion"] == 3
+    assert "data_in_s3" not in read
+
+
+@pytest.mark.parametrize("region", TWO_REGIONS)
+def test_hybrid_metadata_update_small_node_stays_inline(region):
+    cloud, service = make_service(user_store="hybrid", regions=TWO_REGIONS)
+    store = service.user_store
+    ctx = OpContext(region=region)
+    image = {"path": "/s", "data": b"tiny", "version": 1,
+             "cversion": 0, "children": [], "epoch": []}
+    cloud.run_process(store.write_node(ctx, region, "/s", image))
+    meta = {"path": "/s", "version": 1, "cversion": 1,
+            "children": ["c"], "epoch": []}
+    cloud.run_process(store.update_metadata(ctx, region, "/s", meta))
+    item = cloud.kv("dynamodb:user", region=region).table(USER_TABLE).raw("/s")
+    assert item["data"] == b"tiny" and item["data_in_s3"] is False
+    assert item["children"] == ["c"]
+
+
+@pytest.mark.parametrize("region", TWO_REGIONS)
+def test_redis_write_read_delete_roundtrip(region):
+    """RedisBackend CRUD against each region's cache replica."""
+    cloud, service = make_service(user_store="redis", regions=TWO_REGIONS)
+    store = service.user_store
+    ctx = OpContext(region=region)
+    image = {"path": "/r", "data": b"cached", "version": 2,
+             "cversion": 0, "children": [], "epoch": []}
+    cloud.run_process(store.write_node(ctx, region, "/r", image))
+    read = cloud.run_process(store.read_node(ctx, region, "/r"))
+    assert read["data"] == b"cached" and read["version"] == 2
+    # replicas are per-region: the other region has its own copy space
+    other = [r for r in TWO_REGIONS if r != region][0]
+    assert cloud.run_process(store.read_node(
+        OpContext(region=other), other, "/r")) is None
+    cloud.run_process(store.delete_node(ctx, region, "/r"))
+    assert cloud.run_process(store.read_node(ctx, region, "/r")) is None
+
+
+@pytest.mark.parametrize("kind", ["s3", "dynamodb", "hybrid", "redis"])
+def test_crud_roundtrip_multi_region_deployment(kind):
+    """Every backend serves both regions of a two-region deployment: the
+    leader replicates into each replica and a second-region client reads
+    its local one."""
+    cloud, service = make_service(user_store=kind, regions=TWO_REGIONS)
+    local = service.connect()
+    remote = service.connect(region=TWO_REGIONS[1])
+    local.create("/mr", b"both")
+    assert remote.get_data("/mr")[0] == b"both"
+    local.set_data("/mr", b"updated")
+    cloud.run(until=cloud.now + 3000)
+    assert remote.get_data("/mr")[0] == b"updated"
+    local.delete("/mr")
+    cloud.run(until=cloud.now + 3000)
+    assert remote.exists("/mr") is None
