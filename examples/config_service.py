@@ -2,11 +2,13 @@
 
 An HBase-like cluster keeps its shared state in the coordination service:
 a master publishes configuration under ``/cluster/config``, region servers
-register ephemeral nodes and watch the configuration for changes.  The
-data traffic itself never touches the coordination service, matching the
-Section 5.1 observation that ZooKeeper sees a tiny fraction of the
-cluster's requests — exactly the workload where the serverless pay-as-you-
-go model wins (Figure 14).
+register ephemeral nodes and watch the configuration for changes — here
+through the self-re-arming ``DataWatch``/``ChildrenWatch`` decorators, so
+no one hand-rolls the one-shot re-registration loop.  The data traffic
+itself never touches the coordination service, matching the Section 5.1
+observation that ZooKeeper sees a tiny fraction of the cluster's requests
+— exactly the workload where the serverless pay-as-you-go model wins
+(Figure 14).
 
 The demo also prints the month-scale cost comparison for this traffic
 pattern against a 3-VM ZooKeeper ensemble.
@@ -22,11 +24,11 @@ def main() -> None:
     fk = FaaSKeeperService.deploy(cloud, FaaSKeeperConfig(user_store="hybrid"))
 
     master = fk.connect()
-    master.create("/cluster", b"")
+    master.ensure_path("/cluster/servers")
     master.create("/cluster/config", b"flush_interval=60")
-    master.create("/cluster/servers", b"")
 
-    # Region servers come online: ephemeral registration + config watch.
+    # Region servers come online: ephemeral registration + a DataWatch on
+    # the configuration (called immediately, re-armed on every change).
     class RegionServer:
         def __init__(self, index: int):
             self.name = f"rs-{index}"
@@ -34,17 +36,10 @@ def main() -> None:
             self.config_seen = []
             self.node = self.client.create(
                 f"/cluster/servers/{self.name}", b"", ephemeral=True)
-            self._arm_watch()
+            self.client.DataWatch("/cluster/config", self._on_config)
 
-        def _arm_watch(self, _event=None):
-            if self.client.closed:
-                return
-            data, _stat = self.client.get_data("/cluster/config",
-                                               watch=self._on_change)
+        def _on_config(self, data, _stat):
             self.config_seen.append(data)
-
-        def _on_change(self, event):
-            self._arm_watch()
 
     servers = [RegionServer(i) for i in range(4)]
     print(f"registered: {master.get_children('/cluster/servers')}")
@@ -56,9 +51,13 @@ def main() -> None:
         assert server.config_seen[-1] == b"flush_interval=30"
     print("all region servers picked up flush_interval=30")
 
-    # One server dies; the master notices via a children watch.
+    # One server dies; the master notices via its ChildrenWatch (the
+    # initial delivery carries no event — only changes are counted).
     events = []
-    master.get_children("/cluster/servers", watch=events.append)
+    master.ChildrenWatch(
+        "/cluster/servers",
+        lambda _children, event: events.append(event) if event else None,
+        send_event=True)
     servers[2].client.alive = False
     cloud.run(until=cloud.now + 3 * 60_000)
     print(f"after failure: {master.get_children('/cluster/servers')} "

@@ -1,20 +1,16 @@
 """Distributed work queue — another classic ZooKeeper recipe on FaaSKeeper.
 
-Producers enqueue tasks as *sequential* nodes under ``/queue``; workers
-claim tasks by deleting them (the conditional delete is the atomic claim:
-exactly one worker wins each task).  A children watch wakes idle workers
-when new work arrives.
+Built on :class:`repro.faaskeeper.recipes.Queue`: producers enqueue tasks
+as *sequential* nodes under ``/queue``; a worker claims a task by deleting
+its node (the delete is the atomic claim: exactly one worker wins each
+task, losers retry on the next entry).
 
-Demonstrates: sequential ordering, delete-as-claim atomicity, watches, and
-multiple concurrent sessions.
+Demonstrates: sequential ordering, delete-as-claim atomicity, and multiple
+concurrent sessions.
 """
 
 from repro.cloud import Cloud
-from repro.faaskeeper import (
-    FaaSKeeperConfig,
-    FaaSKeeperService,
-    NoNodeError,
-)
+from repro.faaskeeper import FaaSKeeperConfig, FaaSKeeperService, recipes
 
 
 def main() -> None:
@@ -22,12 +18,12 @@ def main() -> None:
     fk = FaaSKeeperService.deploy(cloud, FaaSKeeperConfig(user_store="dynamodb"))
 
     producer = fk.connect()
-    producer.create("/queue", b"")
+    queue = recipes.Queue(producer, "/queue")
 
     # Producers enqueue ten tasks.
     for i in range(10):
-        producer.create("/queue/task-", f"job {i}".encode(), sequence=True)
-    print(f"enqueued: {len(producer.get_children('/queue'))} tasks")
+        queue.put(f"job {i}".encode())
+    print(f"enqueued: {queue.qsize()} tasks")
 
     claimed: dict[str, list] = {}
 
@@ -35,24 +31,16 @@ def main() -> None:
         def __init__(self, name: str):
             self.name = name
             self.client = fk.connect()
+            self.queue = recipes.Queue(self.client, "/queue")
             claimed[name] = []
 
         def claim_one(self) -> bool:
             """Try to claim the oldest task; returns False when queue empty."""
-            while True:
-                tasks = sorted(self.client.get_children("/queue"))
-                if not tasks:
-                    return False
-                task = tasks[0]
-                try:
-                    data, _ = self.client.get_data(f"/queue/{task}")
-                    # The delete is the atomic claim: only one worker
-                    # succeeds; losers see NoNodeError and retry.
-                    self.client.delete(f"/queue/{task}")
-                except NoNodeError:
-                    continue  # another worker won the race
-                claimed[self.name].append(data.decode())
-                return True
+            data = self.queue.get()
+            if data is None:
+                return False
+            claimed[self.name].append(data.decode())
+            return True
 
     workers = [Worker(f"worker-{i}") for i in range(3)]
     # Round-robin claiming: each worker grabs one task per round, so the
@@ -69,6 +57,7 @@ def main() -> None:
           {k: len(v) for k, v in claimed.items()})
     assert total == 10, f"expected 10 claims, got {total}"
     assert all_jobs == sorted(f"job {i}" for i in range(10))  # exactly once
+    assert queue.is_empty()
     print("every task processed exactly once ✓")
     print(f"simulated time {cloud.now/1000:.1f} s, "
           f"cost ${cloud.meter.total:.6f}")

@@ -1,9 +1,10 @@
 """Leader election on FaaSKeeper — the classic ZooKeeper recipe.
 
-Each candidate creates an ephemeral sequential node under ``/election``;
-the owner of the smallest sequence number is the leader.  Every other
-candidate watches its immediate predecessor, so a leader crash wakes
-exactly one successor (no herd effect).
+Built on :class:`repro.faaskeeper.recipes.Election`: each candidate
+enlists with an ephemeral sequential node under ``/election``; the owner
+of the smallest sequence number leads, and every other candidate watches
+only its immediate predecessor, so a leader crash wakes exactly one
+successor (no herd effect).
 
 The demo elects a leader among three candidates, kills it (stops answering
 heartbeats), and shows the next candidate taking over — exercising
@@ -11,40 +12,27 @@ ephemeral cleanup, watches, and the heartbeat function end to end.
 """
 
 from repro.cloud import Cloud
-from repro.faaskeeper import FaaSKeeperConfig, FaaSKeeperService
+from repro.faaskeeper import FaaSKeeperConfig, FaaSKeeperService, recipes
 
 
 class Candidate:
     def __init__(self, fk, name: str):
-        self.fk = fk
         self.name = name
         self.client = fk.connect()
-        self.my_node = None
-        self.is_leader = False
+        self.election = recipes.Election(self.client, "/election",
+                                         identifier=name)
 
     def enlist(self) -> None:
-        self.my_node = self.client.create(
-            "/election/candidate-", self.name.encode(),
-            ephemeral=True, sequence=True)
-        self.check()
+        if not self.election.volunteer(on_leadership=self._on_leadership):
+            print(f"  {self.name}: standing by, "
+                  f"watching {self.election.watching}")
 
-    def check(self, _event=None) -> None:
-        """(Re)evaluate leadership; watch the predecessor otherwise."""
-        if self.client.closed:
-            return
-        children = sorted(self.client.get_children("/election"))
-        mine = self.my_node.rsplit("/", 1)[1]
-        index = children.index(mine)
-        if index == 0:
-            self.is_leader = True
-            print(f"  {self.name}: I am the leader ({mine})")
-            return
-        predecessor = f"/election/{children[index - 1]}"
-        stat = self.client.exists(predecessor, watch=self.check)
-        if stat is None:
-            self.check()  # predecessor vanished while we looked
-        else:
-            print(f"  {self.name}: standing by, watching {predecessor}")
+    def _on_leadership(self) -> None:
+        print(f"  {self.name}: I am the leader ({self.election.node_name})")
+
+    @property
+    def is_leader(self) -> bool:
+        return self.election.is_leader
 
     def crash(self) -> None:
         print(f"  {self.name}: crashing (stops heartbeats)")
@@ -66,7 +54,7 @@ def main() -> None:
     print(f"\nelected: {leader.name}")
 
     # Kill the leader; the heartbeat function evicts its session and the
-    # successor's watch fires.
+    # successor's predecessor watch fires — leadership passes hands-free.
     leader.crash()
     cloud.run(until=cloud.now + 3 * 60_000)  # a few heartbeat periods
 
@@ -75,6 +63,7 @@ def main() -> None:
     survivors = bootstrap.get_children("/election")
     print(f"remaining candidates: {survivors}")
     assert len(survivors) == 2
+    assert new_leader.election.contenders() == ["node-1", "node-2"]
 
     print(f"\nsimulated time: {cloud.now / 1000:.1f} s, "
           f"cost ${cloud.meter.total:.6f}")

@@ -13,7 +13,14 @@ Public entry points::
 """
 
 from .cache import ClientReadCache
-from .client import FaaSKeeperClient, FKFuture, Transaction, WriteResult
+from .client import (
+    ClientEvent,
+    FaaSKeeperClient,
+    FKFuture,
+    SessionRetry,
+    Transaction,
+    WriteResult,
+)
 from .config import FaaSKeeperConfig, UserStoreKind
 from .distributor import DistributionStage, VisibilityBoard
 from .exceptions import (
@@ -26,6 +33,7 @@ from .exceptions import (
     NoNodeError,
     NotEmptyError,
     RequestFailedError,
+    RetryFailedError,
     RolledBackError,
     SessionClosedError,
     TransactionFailedError,
@@ -38,6 +46,7 @@ from .model import (
     CreateOp,
     DeleteOp,
     EventType,
+    KeeperState,
     NodeStat,
     Operation,
     SetDataOp,
@@ -46,12 +55,20 @@ from .model import (
     acl_allows,
 )
 from .service import FaaSKeeperService
+from .watches import ChildrenWatch, DataWatch
+from . import recipes
 
 __all__ = [
     "FaaSKeeperService",
     "FaaSKeeperConfig",
     "UserStoreKind",
     "FaaSKeeperClient",
+    "KeeperState",
+    "ClientEvent",
+    "SessionRetry",
+    "DataWatch",
+    "ChildrenWatch",
+    "recipes",
     "ClientReadCache",
     "DistributionStage",
     "VisibilityBoard",
@@ -83,4 +100,5 @@ __all__ = [
     "BadArgumentsError",
     "RolledBackError",
     "TransactionFailedError",
+    "RetryFailedError",
 ]

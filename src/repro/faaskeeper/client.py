@@ -23,9 +23,11 @@ completion chain respectively.
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set, Tuple
 
 from ..cloud.context import OpContext
+from ..sim.kernel import AnyOf
 from .cache import ClientReadCache
 from .exceptions import (
     AccessDeniedError,
@@ -37,6 +39,7 @@ from .exceptions import (
     NoNodeError,
     NotEmptyError,
     RequestFailedError,
+    RetryFailedError,
     RolledBackError,
     SessionClosedError,
     TransactionFailedError,
@@ -45,6 +48,7 @@ from .model import (
     CheckOp,
     CreateOp,
     DeleteOp,
+    KeeperState,
     NodeStat,
     Operation,
     SetDataOp,
@@ -58,7 +62,8 @@ from .model import (
     validate_path,
 )
 
-__all__ = ["FaaSKeeperClient", "FKFuture", "Transaction", "WriteResult"]
+__all__ = ["FaaSKeeperClient", "FKFuture", "Transaction", "WriteResult",
+           "ClientEvent", "SessionRetry"]
 
 _ERROR_MAP = {
     "no_node": NoNodeError,
@@ -158,6 +163,126 @@ class FKFuture:
         return self._client.cloud.env.run(until=self.event)
 
 
+class ClientEvent:
+    """``threading.Event`` lookalike whose ``wait()`` drives the simulation.
+
+    The real client library hands recipes a waitable object from its handler
+    (kazoo's ``client.handler.event_object()``); the simulation's analogue
+    pumps the virtual clock instead of blocking a thread.  ``wait()`` is the
+    synchronous form (runs the event loop until set or timed out);
+    ``co_wait()`` is the generator form for callers that are themselves
+    simulation processes (the recipe contention tests and benchmarks).
+    """
+
+    def __init__(self, client: "FaaSKeeperClient") -> None:
+        self._client = client
+        self._flag = False
+        self._waiters: List[Any] = []
+
+    def is_set(self) -> bool:
+        return self._flag
+
+    def set(self) -> None:
+        self._flag = True
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed(None)
+
+    def clear(self) -> None:
+        self._flag = False
+
+    def _arm(self):
+        event = self._client.env.event()
+        event.defused()
+        self._waiters.append(event)
+        return event
+
+    def wait(self, timeout_ms: Optional[float] = None) -> bool:
+        """Run the simulation until the event is set (True) or the timeout
+        elapses (False)."""
+        if self._flag:
+            return True
+        env = self._client.env
+        event = self._arm()
+        if timeout_ms is None:
+            env.run(until=event)
+        else:
+            env.run(until=AnyOf(env, [event, env.timeout(timeout_ms)]))
+        return self._flag
+
+    def co_wait(self, timeout_ms: Optional[float] = None) -> Generator:
+        """Generator form of :meth:`wait` for simulation-process callers."""
+        if self._flag:
+            return True
+        env = self._client.env
+        event = self._arm()
+        if timeout_ms is None:
+            yield event
+        else:
+            yield AnyOf(env, [event, env.timeout(timeout_ms)])
+        return self._flag
+
+
+class SessionRetry:
+    """Retry helper for transient coordination failures (kazoo's
+    ``KazooRetry``).
+
+    Recipes wrap their storage-visible steps in the session's retry so a
+    rejected request (``system_busy`` lock contention, a ``system_failure``
+    drop — both :class:`RequestFailedError`) or an aborted ``multi()``
+    (:class:`TransactionFailedError`) is re-attempted with exponential
+    backoff instead of surfacing.  Extra exception types — e.g.
+    :class:`BadVersionError` for compare-and-swap loops like
+    ``recipes.Counter`` — ride in via ``retry_exceptions``.  Backoff sleeps
+    advance the virtual clock through :meth:`FaaSKeeperClient.sleep`, so
+    retries stay deterministic.
+    """
+
+    #: Errors every retry loop treats as transient.
+    DEFAULT_EXCEPTIONS = (RequestFailedError, TransactionFailedError)
+
+    def __init__(self, client: "FaaSKeeperClient", max_tries: int = 5,
+                 delay_ms: float = 50.0, backoff: float = 2.0,
+                 max_delay_ms: float = 2_000.0,
+                 retry_exceptions: Tuple[type, ...] = ()) -> None:
+        if max_tries < 1:
+            raise BadArgumentsError(f"max_tries must be >= 1, got {max_tries}")
+        self.client = client
+        self.max_tries = max_tries
+        self.delay_ms = delay_ms
+        self.backoff = backoff
+        self.max_delay_ms = max_delay_ms
+        self.retry_exceptions = self.DEFAULT_EXCEPTIONS + tuple(retry_exceptions)
+
+    def copy(self, **overrides) -> "SessionRetry":
+        """A derived retry with some knobs replaced (kazoo's ``copy()``)."""
+        kwargs = dict(
+            max_tries=self.max_tries, delay_ms=self.delay_ms,
+            backoff=self.backoff, max_delay_ms=self.max_delay_ms,
+            retry_exceptions=tuple(self.retry_exceptions[
+                len(self.DEFAULT_EXCEPTIONS):]),
+        )
+        kwargs.update(overrides)
+        return SessionRetry(self.client, **kwargs)
+
+    def __call__(self, func: Callable, *args, **kwargs) -> Any:
+        delay = self.delay_ms
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_tries):
+            try:
+                return func(*args, **kwargs)
+            except self.retry_exceptions as exc:
+                last = exc
+                if attempt == self.max_tries - 1:
+                    break
+                self.client.sleep(delay)
+                delay = min(delay * self.backoff, self.max_delay_ms)
+        raise RetryFailedError(
+            f"{getattr(func, '__name__', func)!r} still failing after "
+            f"{self.max_tries} tries") from last
+
+
 class FaaSKeeperClient:
     """One session's client handle.  Obtain via ``service.connect()``."""
 
@@ -194,21 +319,78 @@ class FaaSKeeperClient:
             if config.client_cache_enabled else None)
         queue.on_drop = self._on_drop
 
+        # --- session lifecycle (kazoo parity) -----------------------------
+        self._state = KeeperState.CONNECTED
+        self._listeners: List[Callable[[KeeperState], Any]] = []
+        #: True once the heartbeat evictor (not the client) closed the
+        #: session; the LOST transition is how the client learns of it.
+        self.evicted = False
+        #: Default retry policy recipes use for transient failures.
+        self.retry = SessionRetry(self)
+        # Kazoo-style watch decorators bound to this session:
+        #     @client.DataWatch("/path")
+        #     def watcher(data, stat): ...
+        from .watches import ChildrenWatch, DataWatch
+        self.DataWatch = functools.partial(DataWatch, self)
+        self.ChildrenWatch = functools.partial(ChildrenWatch, self)
+
+    # ------------------------------------------------------------ lifecycle state
+    @property
+    def state(self) -> KeeperState:
+        """Current session state (CONNECTED / SUSPENDED / LOST)."""
+        return self._state
+
+    def add_listener(self, listener: Callable[[KeeperState], Any]) -> None:
+        """Register a state listener, called with the new
+        :class:`KeeperState` on every transition (kazoo semantics: the
+        listener observes transitions, it is not called at registration)."""
+        if not callable(listener):
+            raise BadArgumentsError(f"listener must be callable: {listener!r}")
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[KeeperState], Any]) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _transition(self, state: KeeperState) -> None:
+        """Move the session state machine; LOST is terminal.  Pure client
+        bookkeeping: no simulation events, so pipelines keep their latency
+        fingerprints bit-for-bit."""
+        if state == self._state or self._state == KeeperState.LOST:
+            return
+        self._state = state
+        for listener in list(self._listeners):
+            try:
+                listener(state)
+            except Exception:
+                pass  # a broken listener must not poison the session
+
     # ------------------------------------------------------------ plumbing
     def _next_rid(self) -> int:
         self._rid += 1
         return self._rid
 
-    def _mark_closed(self) -> None:
+    def _mark_closed(self, evicted: bool = False) -> None:
         self.closed = True
+        if evicted:
+            self.evicted = True
         if self._cache is not None:
             # A cached entry must not outlive its session: the watches
             # guarding it stop being delivered once the session is closed
             # (the GC sweeper reclaims the instances server-side).
             self._cache.clear()
+        # Session death — client close or heartbeat eviction alike — is the
+        # LOST transition: ephemeral nodes are gone, the session id is dead.
+        self._transition(KeeperState.LOST)
 
     def _on_drop(self, message) -> None:
         """Poison request dropped by the queue: fail its future."""
+        # The service gave up on a request without an answer: the session
+        # may still exist, but the connection is in doubt.
+        self._transition(KeeperState.SUSPENDED)
         body = message.body
         if isinstance(body, dict) and body.get("rid", -1) >= 0:
             self._deliver_response(Response(
@@ -219,6 +401,10 @@ class FaaSKeeperClient:
         event = self._pending.pop(response.rid, None)
         if event is None or event.triggered:
             return  # duplicate delivery (redelivered batch): first wins
+        if response.ok and not self.closed:
+            # A successful round trip heals a SUSPENDED session (no-op in
+            # the common CONNECTED case; LOST is terminal).
+            self._transition(KeeperState.CONNECTED)
         if response.txid:
             self.mrd = max(self.mrd, response.txid)
             board = self.service.visibility_board
@@ -609,11 +795,21 @@ class FaaSKeeperClient:
         validate_path(path)
         barrier = self._read_barrier()
         rid_cut = self._rid
+        # An exists() is a stat of the same node image get_data fetches, so
+        # it shares the (path, DATA) cache entry and its DATA-watch guard —
+        # a hit saves the user-store round trip, a miss admits an entry
+        # later get_data calls hit.  Only the watch-less form is cacheable:
+        # a caller arming a fresh EXISTS watch must not be handed an image
+        # older than the change that consumed the previous instance (the
+        # same rule require_watch_id enforces for get_data, but the EXISTS
+        # instance id is incomparable with the entry's DATA guard).
+        cache_wtype = WatchType.DATA if watch is None else None
 
         def flow():
             if watch is not None:
                 yield from self._register_watch(path, WatchType.EXISTS, watch)
             image = yield from self._read_image(path, barrier,
+                                                cache_wtype=cache_wtype,
                                                 rid_cut=rid_cut)
             if image is None:
                 return None
@@ -641,6 +837,61 @@ class FaaSKeeperClient:
             return sorted(image.get("children", []))
 
         return self._chained(flow())
+
+    # ------------------------------------------------------------ helpers
+    def sleep(self, delay_ms: float) -> None:
+        """Advance the virtual clock by ``delay_ms`` (the simulation's
+        stand-in for ``time.sleep`` — retry backoffs and recipe hold times
+        go through here so runs stay deterministic)."""
+        if delay_ms < 0:
+            raise BadArgumentsError(f"negative delay {delay_ms!r}")
+        env = self.env
+        env.run(until=env.now + delay_ms)
+
+    def event_object(self) -> ClientEvent:
+        """A waitable event recipes block on (kazoo's
+        ``client.handler.event_object()``); see :class:`ClientEvent`."""
+        return ClientEvent(self)
+
+    def ensure_path(self, path: str, acl: Optional[dict] = None) -> bool:
+        """Recursively create ``path`` and any missing ancestors (kazoo's
+        ``ensure_path``).  Existing nodes are left untouched; concurrent
+        creators racing on a segment are absorbed (`NodeExistsError` means
+        someone else won, which is just as good).  Returns True."""
+        self._check_open()
+        validate_path(path)
+        if path == "/":
+            return True
+        prefix = ""
+        for segment in path[1:].split("/"):
+            prefix += "/" + segment
+            if self.exists(prefix) is not None:
+                continue
+            try:
+                self.create(prefix, b"", acl=acl)
+            except NodeExistsError:
+                pass
+        return True
+
+    def co_ensure_path(self, path: str,
+                       acl: Optional[dict] = None) -> Generator:
+        """Generator form of :meth:`ensure_path` for simulation-process
+        callers (the recipe cores)."""
+        self._check_open()
+        validate_path(path)
+        if path == "/":
+            return True
+        prefix = ""
+        for segment in path[1:].split("/"):
+            prefix += "/" + segment
+            stat = yield self.exists_async(prefix).event
+            if stat is not None:
+                continue
+            try:
+                yield self.create_async(prefix, b"", acl=acl).event
+            except NodeExistsError:
+                pass
+        return True
 
     # ------------------------------------------------------------ lifecycle
     def close_async(self) -> FKFuture:

@@ -15,6 +15,7 @@ __all__ = [
     "BadArgumentsError",
     "RolledBackError",
     "TransactionFailedError",
+    "RetryFailedError",
 ]
 
 
@@ -65,6 +66,12 @@ class RolledBackError(FaaSKeeperError):
     op did not fail by itself — a sibling did, and the transaction's
     all-or-nothing guarantee undid (or never applied) this one.
     """
+
+
+class RetryFailedError(FaaSKeeperError):
+    """A :class:`~repro.faaskeeper.client.SessionRetry` loop gave up: the
+    wrapped operation kept failing with retryable errors until the attempt
+    budget ran out.  The last underlying error is chained as ``__cause__``."""
 
 
 class TransactionFailedError(FaaSKeeperError):

@@ -713,7 +713,9 @@ class FollowerLogic:
                           path=path, version=-1)
             yield from self._write_op(fctx, sub)
         yield from sessions.delete_item(fctx.ctx, SYSTEM_SESSIONS, req.session)
-        self.service.on_session_closed(req.session)
+        # rid < 0 marks a teardown the client never asked for: the
+        # heartbeat evictor's close-session request.
+        self.service.on_session_closed(req.session, evicted=req.rid < 0)
         if req.rid >= 0:
             yield from self.service.notify_response(
                 Response(session=req.session, rid=req.rid, ok=True))

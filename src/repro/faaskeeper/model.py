@@ -20,6 +20,7 @@ __all__ = [
     "ACL_PERMS",
     "OPEN_ACL",
     "acl_allows",
+    "KeeperState",
     "NodeStat",
     "WatchType",
     "WatchedEvent",
@@ -38,6 +39,22 @@ __all__ = [
     "parent_path",
     "node_name",
 ]
+
+
+class KeeperState(str, Enum):
+    """Session lifecycle states surfaced to client state listeners.
+
+    Mirrors kazoo's ``KazooState``: CONNECTED while the session is healthy,
+    SUSPENDED when the service has observed the client unreachable (a missed
+    heartbeat, a dropped request) but the session still exists — operations
+    may yet succeed or the session may be evicted — and LOST once the
+    session is closed or evicted, which is terminal: ephemeral nodes are
+    gone and a new session must be opened.
+    """
+
+    CONNECTED = "connected"
+    SUSPENDED = "suspended"
+    LOST = "lost"
 
 
 class WatchType(str, Enum):

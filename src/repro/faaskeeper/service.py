@@ -47,7 +47,7 @@ from .layout import (
     user_image_from_system,
 )
 from .leader import LeaderLogic
-from .model import Response, WatchedEvent
+from .model import KeeperState, Response, WatchedEvent
 from .watch_fn import WatchFanoutLogic
 from .watches import EpochLedger, WatchRegistry
 
@@ -308,10 +308,13 @@ class FaaSKeeperService:
             self.gc_task.start()
         return client
 
-    def on_session_closed(self, session_id: str) -> None:
+    def on_session_closed(self, session_id: str, evicted: bool = False) -> None:
         client = self.clients.get(session_id)
         if client is not None:
-            client._mark_closed()
+            # An eviction surfaces as the LOST transition on the client's
+            # state machine — the session learns of its death when the
+            # evictor's close lands, not on its next failed request.
+            client._mark_closed(evicted=evicted)
         if self.active_sessions == 0:
             # Scale-to-zero: with no clients there is nothing to monitor and
             # the only remaining charges are storage retention (Section 5.3.4).
@@ -367,7 +370,13 @@ class FaaSKeeperService:
         latency = self.cloud.profile.tcp_reply.sample(
             self.cloud.rng.stream("tcp"), 0.0)
         yield self.cloud.env.timeout(latency)
-        return bool(client is not None and client.alive and not client.closed)
+        answered = bool(client is not None and client.alive and not client.closed)
+        if not answered and client is not None and not client.closed:
+            # The service observed the client unreachable: the session is in
+            # doubt (SUSPENDED) until the eviction lands (LOST) or a later
+            # successful round trip heals it.
+            client._transition(KeeperState.SUSPENDED)
+        return answered
 
     def enqueue_eviction(self, ctx: OpContext, session_id: str) -> Generator:
         """Queue a deregistration request into the session's own queue, so it

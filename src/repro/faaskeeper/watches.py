@@ -1,4 +1,5 @@
-"""Watch registry over the system watch table (Section 3.4).
+"""Watch registry over the system watch table (Section 3.4), plus the
+client-side self-re-arming watch decorators of the high-level API.
 
 Each node path has at most one *watch instance* per watch type; hundreds of
 clients may join the same instance (the paper: "multiple clients can be
@@ -13,23 +14,31 @@ the winning id from the returned image).
 Consumption (watches are one-shot, as in ZooKeeper) removes the instance
 atomically; the leader then hands the (id, sessions) pairs to the watch
 function for fan-out.
+
+:class:`DataWatch` and :class:`ChildrenWatch` sit on top of the one-shot
+protocol: they re-register on every delivery *before* re-reading, so a
+change landing in the delivery→re-arm window either reaches the fresh read
+(registration precedes the fetch inside ``get_data``/``exists``/
+``get_children``) or fires the newly armed instance — the same
+register-before-read protocol the client read cache relies on.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..cloud.context import OpContext
 from ..cloud.errors import ConditionFailed
 from ..cloud.expressions import Attr, ListAppend, Remove, SetIfNotExists
 from ..cloud.kvstore import KeyValueStore
 from ..primitives.atomics import AtomicList
+from .exceptions import BadArgumentsError, NoNodeError, SessionClosedError
 from .layout import SYSTEM_WATCHES, epoch_key
-from .model import EventType, WatchType
+from .model import EventType, WatchType, validate_path
 
 __all__ = ["WatchRegistry", "TriggeredWatch", "triggered_watch_types",
-           "EpochLedger"]
+           "EpochLedger", "DataWatch", "ChildrenWatch"]
 
 _uid = itertools.count(1)
 
@@ -234,23 +243,213 @@ class WatchRegistry:
                        type_events: List[Tuple[WatchType, EventType]],
                        watch_item: Optional[Dict[str, Any]],
                        ) -> Generator[Any, Any, List[TriggeredWatch]]:
-        if not watch_item:
-            return []
-        instances = watch_item.get("inst", {})
-        triggered: List[TriggeredWatch] = []
-        removals = []
-        for wtype, event in type_events:
-            inst = instances.get(wtype.value)
-            if not inst or not inst.get("sessions"):
+        """Guarded removal of the triggered instances.
+
+        The ``Remove`` is conditioned on every removed instance still
+        matching the queried snapshot (id AND session list — the same
+        device as the GC's :meth:`remove_instance`): a client joining an
+        instance *between the query and the removal* would otherwise be
+        swept away silently — never notified, its re-arm (and any cache
+        entry the instance guards) dead forever.  On a conflict the item
+        is re-read and the removal retried, so the late joiner is included
+        in the delivery.  The guard costs nothing when there is no race:
+        the same single conditional write the unguarded form issued.
+        """
+        while True:
+            if not watch_item:
+                return []
+            instances = watch_item.get("inst", {})
+            triggered: List[TriggeredWatch] = []
+            removals = []
+            guard = None
+            for wtype, event in type_events:
+                inst = instances.get(wtype.value)
+                if not inst or not inst.get("sessions"):
+                    continue
+                triggered.append(TriggeredWatch(
+                    watch_id=inst["id"], path=path, wtype=wtype,
+                    event=event, sessions=list(inst["sessions"]),
+                ))
+                removals.append(Remove(f"inst.{wtype.value}"))
+                pin = (Attr(f"inst.{wtype.value}.id") == inst["id"]) & \
+                    (Attr(f"inst.{wtype.value}.sessions") ==
+                     list(inst["sessions"]))
+                guard = pin if guard is None else (guard & pin)
+            if not removals:
+                return []
+            try:
+                yield from self.store.update_item(
+                    ctx, SYSTEM_WATCHES, path, updates=removals,
+                    condition=guard, payload_kb=0.064,
+                )
+            except ConditionFailed:
+                watch_item = yield from self.store.get_item(
+                    ctx, SYSTEM_WATCHES, path)
                 continue
-            triggered.append(TriggeredWatch(
-                watch_id=inst["id"], path=path, wtype=wtype,
-                event=event, sessions=list(inst["sessions"]),
-            ))
-            removals.append(Remove(f"inst.{wtype.value}"))
-        if not removals:
-            return []
-        yield from self.store.update_item(
-            ctx, SYSTEM_WATCHES, path, updates=removals, payload_kb=0.064,
-        )
-        return triggered
+            return triggered
+
+
+# --------------------------------------------------------------------------
+# Client-side self-re-arming watch decorators (kazoo parity)
+# --------------------------------------------------------------------------
+
+class _RearmingWatch:
+    """Shared machinery of :class:`DataWatch` / :class:`ChildrenWatch`.
+
+    One-shot watches put the re-arm burden on the application; these
+    decorators carry it instead: every delivery re-registers the watch and
+    re-reads through the client's ordinary read pipeline.  The registration
+    happens *before* the re-read (inside ``exists``/``get_data``/
+    ``get_children``, which register ahead of the storage fetch), so a
+    change racing the re-arm is never lost: it either reaches the fresh
+    read or fires the new instance — mirroring the cache-watch protocol.
+
+    Deliveries arriving while a refresh is still running (its nested reads
+    pump the event loop) are folded into one trailing refresh instead of
+    recursing, so the user callback observes reads in issue order and its
+    last invocation always reflects the newest read.
+    """
+
+    def __init__(self, client, path: str,
+                 func: Optional[Callable] = None) -> None:
+        validate_path(path)
+        self._client = client
+        self._path = path
+        self._func: Optional[Callable] = None
+        self._stopped = False
+        self._busy = False
+        self._again = False
+        #: Watch notifications received (re-arm accounting for tests).
+        self.deliveries = 0
+        if func is not None:
+            self(func)
+
+    def __call__(self, func: Callable) -> Callable:
+        if self._func is not None:
+            raise BadArgumentsError("watch already has a callback")
+        self._func = func
+        self._refresh(initial=True)
+        return func
+
+    def stop(self) -> None:
+        """Stop watching; the armed instance may still fire once more but
+        the callback is no longer invoked."""
+        self._stopped = True
+
+    @property
+    def active(self) -> bool:
+        return not self._stopped and not self._client.closed
+
+    def _on_event(self, _event) -> None:
+        self.deliveries += 1
+        if not self.active:
+            return
+        if self._busy:
+            self._again = True  # fold into the running refresh's trailing pass
+            return
+        self._refresh()
+
+    def _refresh(self, initial: bool = False) -> None:
+        self._busy = True
+        try:
+            while True:
+                self._again = False
+                try:
+                    keep = self._deliver(self._read_and_rearm(), initial)
+                except SessionClosedError:
+                    self._stopped = True
+                    return
+                initial = False
+                if keep is False:
+                    self._stopped = True
+                    return
+                if not self._again or not self.active:
+                    return
+        finally:
+            self._busy = False
+
+    # Subclass hooks -------------------------------------------------------
+    def _read_and_rearm(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _deliver(self, result, initial: bool):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class DataWatch(_RearmingWatch):
+    """Self-re-arming data watch, kazoo-style::
+
+        @client.DataWatch("/config")
+        def watcher(data, stat):
+            ...  # called now, and again on every change
+
+    The callback runs at registration with the current state and after
+    every subsequent change; a missing node is reported as ``(None,
+    None)`` and the watch keeps waiting for its creation.  Returning
+    ``False`` from the callback (or calling :meth:`stop`) ends the watch.
+
+    The re-arm rides an EXISTS watch — it fires on create, data change and
+    delete alike, exactly the events a data watch must observe — and the
+    data itself is fetched with a plain ``get_data`` afterwards, so reads
+    may be served by the client cache.
+    """
+
+    def _read_and_rearm(self):
+        # Arm first (exists registers the watch before its storage read),
+        # then fetch: nothing can change unobserved in between.
+        stat = self._client.exists(self._path, watch=self._on_event)
+        if stat is None:
+            return None, None
+        try:
+            return self._client.get_data(self._path)
+        except NoNodeError:
+            # Deleted while the fetch was in flight: the armed instance
+            # (or its in-flight delivery) reports the follow-up.
+            return None, None
+
+    def _deliver(self, result, initial: bool):
+        data, stat = result
+        return self._func(data, stat)
+
+
+class ChildrenWatch(_RearmingWatch):
+    """Self-re-arming children watch, kazoo-style::
+
+        @client.ChildrenWatch("/workers")
+        def watcher(children):
+            ...  # called now, and again on every membership change
+
+    ``send_event=True`` passes the triggering
+    :class:`~repro.faaskeeper.model.WatchedEvent` as a second argument
+    (None for the initial call).  The watched node must exist at
+    registration (:class:`NoNodeError` otherwise); the watch stops when
+    the node is deleted.  Returning ``False`` stops it too.
+    """
+
+    def __init__(self, client, path: str, func: Optional[Callable] = None,
+                 send_event: bool = False) -> None:
+        self._send_event = send_event
+        self._last_event = None
+        self._started = False
+        super().__init__(client, path, func)
+
+    def _on_event(self, event) -> None:
+        self._last_event = event
+        super()._on_event(event)
+
+    def _read_and_rearm(self):
+        try:
+            return self._client.get_children(self._path,
+                                             watch=self._on_event)
+        except NoNodeError:
+            if not self._started:
+                raise  # registration on a missing node is a caller error
+            return None  # node deleted: the watch dies with it
+
+    def _deliver(self, children, initial: bool):
+        self._started = True
+        if children is None:
+            return False  # deleted underneath us: stop
+        if self._send_event:
+            return self._func(children, None if initial else self._last_event)
+        return self._func(children)
