@@ -119,6 +119,10 @@ class DeployedFunction:
         # fault plan: crash point name -> list of invocation ids to crash on,
         # or a callable(invocation_id) -> bool
         self.fault_plan: Dict[str, Any] = {}
+        #: Observer called as ``on_failure(fn, exc)`` when an invocation
+        #: dies (crash harnesses model the sandbox loss here); must not
+        #: raise — it runs on the provider side of the failure path.
+        self.on_failure: Optional[Callable[["DeployedFunction", BaseException], None]] = None
         self._active = 0
 
     # ---------------------------------------------------------------- faults
@@ -186,6 +190,8 @@ class DeployedFunction:
         except BaseException as exc:
             self.failures += 1
             self._finish(started)
+            if self.on_failure is not None:
+                self.on_failure(self, exc)
             done.fail(exc)
             return
         self._finish(started)

@@ -13,6 +13,7 @@ Public entry points::
 """
 
 from .cache import ClientReadCache
+from .chaos import ChaosMonkey, verify_exactly_once, wipe_user_region
 from .client import (
     ClientEvent,
     FaaSKeeperClient,
@@ -55,6 +56,7 @@ from .model import (
     acl_allows,
 )
 from .service import FaaSKeeperService
+from .snapshot import SnapshotManager
 from .watches import ChildrenWatch, DataWatch
 from . import recipes
 
@@ -72,6 +74,10 @@ __all__ = [
     "ClientReadCache",
     "DistributionStage",
     "VisibilityBoard",
+    "SnapshotManager",
+    "ChaosMonkey",
+    "wipe_user_region",
+    "verify_exactly_once",
     "FKFuture",
     "Transaction",
     "WriteResult",

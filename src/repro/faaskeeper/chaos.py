@@ -1,0 +1,266 @@
+"""Seeded crash-restart chaos harness for the FaaSKeeper pipelines.
+
+The simulation's queue/function topology makes every stage boundary a
+natural crash point: the leader between commit verification and
+replication, a distributor region between its watch stage and its
+visibility watermark, the watch fan-out between per-session deliveries.
+:class:`ChaosMonkey` arms those points with *seeded, budgeted* random
+crashes and models the sandbox loss on every failure, so a test can
+assert exactly-once end effects — no lost acknowledged write, no
+duplicated watch callback — under hundreds of distinct crash schedules,
+each reproducible from its integer seed.
+
+Design constraints the harness respects:
+
+* **determinism** — all randomness flows from one ``random.Random(seed)``;
+  the simulation itself is deterministic, so (seed, config) fully
+  determines the crash schedule and a CI failure replays locally.
+* **liveness** — every (function, point) pair has a finite crash budget.
+  Leader and distributor queues redeliver forever, so any finite budget
+  converges; the watch fan-out is a free function whose invoker retries
+  ``free_fn_retries`` times, so its *total* budget is capped by that
+  retry count (the budget is shared across the watch points).
+* **sandbox loss** — a crashed invocation's warm state is gone: the
+  harness hooks :attr:`DeployedFunction.on_failure` and calls the stage
+  logic's ``cold_restart()``, so redeliveries re-hydrate epoch mirrors
+  and landed-txid memories from storage instead of inheriting them.
+
+:func:`wipe_user_region` destroys one region's user-store replica in
+place (the disaster :meth:`SnapshotManager.recover_region` exists for),
+and :func:`verify_exactly_once` audits a quiesced deployment against the
+workload's expectations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .config import UserStoreKind
+from .layout import (
+    SYSTEM_NODES,
+    SYSTEM_STATE,
+    USER_BUCKET,
+    USER_TABLE,
+    epoch_key,
+)
+from .service import FaaSKeeperService
+
+__all__ = ["ChaosMonkey", "CRASH_POINTS", "wipe_user_region",
+           "region_user_image", "verify_exactly_once"]
+
+#: Stage -> crash points the harness knows how to arm.
+CRASH_POINTS: Dict[str, Tuple[str, ...]] = {
+    "leader": ("leader_entry", "leader_mid_batch", "leader_after_log"),
+    "distributor": ("dist_entry", "dist_after_watch_stage",
+                    "dist_before_visible"),
+    "watch": ("watch_entry", "watch_mid_fanout"),
+}
+
+
+class ChaosMonkey:
+    """Arm seeded, budgeted crashes across a deployment's stages.
+
+    ``stages`` selects which pipelines to attack (default: every stage
+    the deployment actually runs); ``probability`` is the per-pass crash
+    chance at an armed point while its budget lasts.
+    """
+
+    def __init__(self, service: FaaSKeeperService, seed: int,
+                 stages: Optional[Iterable[str]] = None,
+                 probability: float = 0.25,
+                 budget_per_point: int = 2) -> None:
+        self.service = service
+        self.rng = random.Random(seed)
+        self.probability = probability
+        #: (function name, point) -> crashes this pair may still inject.
+        self._budget: Dict[Tuple[str, str], int] = {}
+        #: function name -> stage logic with a ``cold_restart()`` method.
+        self._logic_by_fn: Dict[str, Any] = {}
+        #: Crash log: (function name, point, invocation id), in order.
+        self.crashes: List[Tuple[str, str, int]] = []
+        self.restarts = 0
+
+        wanted = set(stages) if stages is not None else set(CRASH_POINTS)
+        unknown = wanted - set(CRASH_POINTS)
+        if unknown:
+            raise ValueError(f"unknown chaos stages {sorted(unknown)}")
+
+        if "leader" in wanted:
+            for fn, logic in zip(service.leader_fns, service.leader_logics):
+                self._arm(fn, logic, CRASH_POINTS["leader"], budget_per_point)
+        if "distributor" in wanted and service.distribution is not None:
+            stage = service.distribution
+            for region, fn in stage.fns.items():
+                self._arm(fn, stage.logics[region],
+                          CRASH_POINTS["distributor"], budget_per_point)
+        if "watch" in wanted and service.config.free_fn_retries > 0:
+            # Liveness: at most free_fn_retries crashes across ALL watch
+            # points of one function, so the final retry always runs clean.
+            total = service.config.free_fn_retries
+            per_point = max(1, total // len(CRASH_POINTS["watch"]))
+            shared = {"left": total}
+            self._arm(service.watch_fn, None, CRASH_POINTS["watch"],
+                      per_point, shared_cap=shared)
+
+    # ------------------------------------------------------------ wiring
+    def _arm(self, fn, logic, points: Tuple[str, ...], budget: int,
+             shared_cap: Optional[Dict[str, int]] = None) -> None:
+        name = fn.spec.name
+        if logic is not None:
+            self._logic_by_fn[name] = logic
+        fn.on_failure = self._on_failure
+        for point in points:
+            self._budget[(name, point)] = budget
+            fn.fault_plan[point] = self._predicate(name, point, shared_cap)
+
+    def _predicate(self, name: str, point: str,
+                   shared_cap: Optional[Dict[str, int]]):
+        key = (name, point)
+
+        def maybe_crash(invocation_id: int) -> bool:
+            if self._budget[key] <= 0:
+                return False
+            if shared_cap is not None and shared_cap["left"] <= 0:
+                return False
+            if self.rng.random() >= self.probability:
+                return False
+            self._budget[key] -= 1
+            if shared_cap is not None:
+                shared_cap["left"] -= 1
+            self.crashes.append((name, point, invocation_id))
+            return True
+
+        return maybe_crash
+
+    def _on_failure(self, fn, exc: BaseException) -> None:
+        self.restarts += 1
+        logic = self._logic_by_fn.get(fn.spec.name)
+        if logic is not None:
+            logic.cold_restart()
+
+
+# --------------------------------------------------------------------------
+# Region destruction + raw inspection
+# --------------------------------------------------------------------------
+
+def wipe_user_region(service: FaaSKeeperService, region: str) -> None:
+    """Destroy one region's user-store replica in place (zero latency):
+    the replica-loss disaster cold recovery rebuilds from.  System
+    storage — the durable side of the design — is untouched."""
+    cloud = service.cloud
+    kind = service.config.user_store
+    if kind in (UserStoreKind.DYNAMODB, UserStoreKind.HYBRID):
+        cloud.kv("dynamodb:user", region=region).table(USER_TABLE)._items.clear()
+    if kind in (UserStoreKind.S3, UserStoreKind.HYBRID):
+        cloud.objectstore("s3", region=region)._buckets[USER_BUCKET].clear()
+    if kind == UserStoreKind.REDIS:
+        cloud.cache("redis", region=region)._data.clear()
+
+
+def region_user_image(service: FaaSKeeperService, region: str,
+                      path: str) -> Optional[Dict[str, Any]]:
+    """Zero-latency peek at one region's user image (test verification —
+    the billed read path is :meth:`UserStore.read_node`)."""
+    cloud = service.cloud
+    kind = service.config.user_store
+    if kind == UserStoreKind.S3:
+        entry = cloud.objectstore(
+            "s3", region=region)._buckets[USER_BUCKET].get(path)
+        if entry is None:
+            return None
+        payload, meta = entry
+        return dict(meta, data=payload)
+    if kind == UserStoreKind.REDIS:
+        return cloud.cache("redis", region=region)._data.get(path)
+    item = cloud.kv("dynamodb:user", region=region).table(USER_TABLE).raw(path)
+    if item is None:
+        return None
+    if item.get("data_in_s3"):
+        payload = cloud.objectstore(
+            "s3", region=region).raw(USER_BUCKET, path)
+        item = dict(item, data=payload or b"")
+    item.pop("data_in_s3", None)
+    return item
+
+
+# --------------------------------------------------------------------------
+# Exactly-once audit
+# --------------------------------------------------------------------------
+
+def verify_exactly_once(service: FaaSKeeperService,
+                        expected: Dict[str, Optional[bytes]],
+                        acked_txids: Optional[Iterable[int]] = None
+                        ) -> List[str]:
+    """Audit a *quiesced* deployment for exactly-once end effects.
+
+    ``expected`` maps each workload path to the data of its newest
+    acknowledged write (None = acknowledged delete); ``acked_txids`` are
+    the transaction ids of acknowledged writes.  Returns a list of
+    violation descriptions (empty = consistent):
+
+    * every system node's pending-transaction list has drained and no
+      lock is left behind;
+    * every region's user replica holds exactly the acknowledged data,
+      with version/txid metadata matching the system store (no lost and
+      no resurrected-duplicate write);
+    * every acknowledged txid is visible in every region's watermark
+      (when the distributor maintains one);
+    * every region's epoch counter has drained (no watch notification
+      forever in flight).
+    """
+    violations: List[str] = []
+    nodes = service.system_store.table(SYSTEM_NODES)
+
+    for path in sorted(expected):
+        final = expected[path]
+        item = nodes.raw(path) or {}
+        if item.get("transactions"):
+            violations.append(
+                f"{path}: pending transactions not drained: "
+                f"{item['transactions']}")
+        if final is None:
+            if item.get("exists"):
+                violations.append(f"{path}: acked delete but system node alive")
+        elif not item.get("exists"):
+            violations.append(f"{path}: acked write but system node missing")
+        for region in service.config.regions:
+            image = region_user_image(service, region, path)
+            if final is None:
+                if image is not None:
+                    violations.append(
+                        f"{path}@{region}: acked delete but replica present")
+                continue
+            if image is None:
+                violations.append(f"{path}@{region}: acked write lost")
+                continue
+            if image.get("data", b"") != final:
+                violations.append(
+                    f"{path}@{region}: data mismatch "
+                    f"(got {image.get('data', b'')!r}, want {final!r})")
+            if item.get("exists") and \
+                    image.get("version") != item.get("version"):
+                violations.append(
+                    f"{path}@{region}: version {image.get('version')} != "
+                    f"system {item.get('version')}")
+            if item.get("exists") and \
+                    image.get("modified_tx") != item.get("modified_tx"):
+                violations.append(
+                    f"{path}@{region}: modified_tx {image.get('modified_tx')}"
+                    f" != system {item.get('modified_tx')}")
+
+    board = service.visibility_board
+    if board is not None and acked_txids is not None:
+        for txid in acked_txids:
+            for region in service.config.regions:
+                if not board.visible(region, txid):
+                    violations.append(
+                        f"txid {txid} acked but not visible in {region}")
+
+    state = service.system_store.table(SYSTEM_STATE)
+    for region in service.config.regions:
+        epoch_item = state.raw(epoch_key(region)) or {}
+        if epoch_item.get("items"):
+            violations.append(
+                f"epoch counter {region} not drained: {epoch_item['items']}")
+    return violations

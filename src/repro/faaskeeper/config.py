@@ -71,6 +71,27 @@ class FaaSKeeperConfig:
     #: configuration (the PR1 pipeline among them) keeps its pre-existing
     #: latency fingerprint bit-for-bit.
     watch_parallel: Optional[bool] = None
+    #: Durable commit log (the substrate of snapshots, compaction and
+    #: cold-start recovery): when enabled the leader appends every committed
+    #: transaction's replication writes to a txid-keyed system-store log —
+    #: one transactional write per commit, paired with a per-shard log-head
+    #: watermark — before replicating or publishing.  False (the default)
+    #: keeps every pre-existing pipeline bit-for-bit intact.
+    commit_log_enabled: bool = False
+    #: Period of the scheduled snapshot function (fuzzy snapshot + log
+    #: compaction, like the GC sweep).  0 (the default) = manual snapshots
+    #: only, via ``service.snapshots``.  Requires ``commit_log_enabled``.
+    snapshot_auto_ms: float = 0.0
+    #: Let :meth:`SnapshotManager.compact` truncate the log below the
+    #: snapshot floor (clamped to the slowest region's ``replicated_tx``
+    #: watermark).  Disable to keep the full log, e.g. for audits.
+    compaction_enabled: bool = True
+    #: Async free-function invocation retries (the watch fan-out): AWS
+    #: retries failed async invocations up to twice.  0 (the default) keeps
+    #: the paper's single-attempt behaviour — and its fingerprints — exact;
+    #: the chaos suite runs with 2 so a crashed fan-out re-delivers
+    #: (duplicate deliveries are deduplicated client-side by instance id).
+    free_fn_retries: int = 0
     #: Client-side read cache: maximum cached node images per session.
     #: 0 (the default) disables the cache entirely, so the paper's read
     #: pipeline — every get_data/get_children is a user-store round trip —
@@ -105,6 +126,16 @@ class FaaSKeeperConfig:
         if self.distributor_batch < 1:
             raise ValueError(
                 f"distributor_batch must be >= 1, got {self.distributor_batch}")
+        if self.snapshot_auto_ms < 0:
+            raise ValueError(
+                f"snapshot_auto_ms must be >= 0, got {self.snapshot_auto_ms}")
+        if self.snapshot_auto_ms > 0 and not self.commit_log_enabled:
+            raise ValueError(
+                "snapshot_auto_ms > 0 requires commit_log_enabled=True: "
+                "there is nothing to snapshot without a commit log")
+        if self.free_fn_retries < 0:
+            raise ValueError(
+                f"free_fn_retries must be >= 0, got {self.free_fn_retries}")
 
     @property
     def client_cache_enabled(self) -> bool:

@@ -225,10 +225,19 @@ class DistributorLogic:
         self.coalesced_writes = 0
         self.batches = 0
 
+    def cold_restart(self) -> None:
+        """Drop warm-sandbox state after a crash (chaos harness hook): the
+        epoch mirror re-hydrates from storage, and the landed-txid memory —
+        a pure optimization over the idempotent ``write_user_image`` — is
+        rebuilt from the writes themselves."""
+        self._epoch_loaded = False
+        self._last_written = {}
+
     # ------------------------------------------------------------ handler
     def handler(self, fctx, batch: List[Dict[str, Any]]) -> Generator:
         env = fctx.env
         stage = self.service.distribution
+        fctx.crash_point("dist_entry")
         self.batches += 1
         if not self._epoch_loaded:
             # Cold-start hydration of the shared epoch mirror, exactly like
@@ -244,6 +253,7 @@ class DistributorLogic:
                 newest[rec["shard"]] = rec["txid"]
         if self.primary:
             yield from self._watch_stage(fctx, batch, newest)
+            fctx.crash_point("dist_after_watch_stage")
         # Z4 gate: epoch snapshots must postdate the watch-stage processing
         # of every record in this batch, so later images carry the watch
         # ids of earlier (still undelivered) notifications.
@@ -269,6 +279,7 @@ class DistributorLogic:
         if procs:
             yield AllOf(env, procs)
         fctx.record("update_user", env.now - t0)
+        fctx.crash_point("dist_before_visible")
 
         # Advance the region's visibility watermark: every record of this
         # batch is now readable (superseded writes are covered by the

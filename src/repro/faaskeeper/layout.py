@@ -47,10 +47,15 @@ __all__ = [
     "SYSTEM_STATE",
     "SYSTEM_SESSIONS",
     "SYSTEM_WATCHES",
+    "SYSTEM_LOG",
+    "SYSTEM_SNAPSHOT",
     "USER_TABLE",
     "USER_BUCKET",
     "epoch_key",
     "replicated_key",
+    "log_key",
+    "LOG_HEAD_KEY",
+    "SNAPSHOT_META_KEY",
     "new_system_node",
     "user_image_from_system",
     "top_component",
@@ -61,8 +66,30 @@ SYSTEM_NODES = "fk-system-nodes"
 SYSTEM_STATE = "fk-system-state"
 SYSTEM_SESSIONS = "fk-system-sessions"
 SYSTEM_WATCHES = "fk-system-watches"
+#: Durable commit log (``commit_log_enabled``): one item per committed
+#: transaction, key = zero-padded txid, value = the replication writes.
+SYSTEM_LOG = "fk-system-log"
+#: Snapshot table (fuzzy checkpoint of the log): key = path, value =
+#: the newest folded user image and the txid that produced it.
+SYSTEM_SNAPSHOT = "fk-system-snapshot"
 USER_TABLE = "fk-user-nodes"
 USER_BUCKET = "fk-user-data"
+
+#: System-state key of the per-shard log-head watermark item: attribute
+#: ``s<shard>`` holds the newest txid that shard has appended to the log.
+#: Updated in the same storage transaction as the log append, so every
+#: committed txid at or below a shard's head has a log record.
+LOG_HEAD_KEY = "log:head"
+#: System-state key of the snapshot metadata item ``{"txid", "seq",
+#: "compacted"}``: the snapshot floor (state at ``txid`` is fully folded
+#: into the snapshot table), the fold generation, and the newest txid
+#: compaction has truncated the log to.
+SNAPSHOT_META_KEY = "snapshot:meta"
+
+
+def log_key(txid: int) -> str:
+    """Commit-log item key: zero-padded so lexicographic == numeric order."""
+    return f"{txid:012d}"
 
 
 def epoch_key(region: str) -> str:

@@ -78,6 +78,15 @@ class LeaderLogic:
         self._deferred: List[Tuple[str, Dict[str, Any], Any]] = []
         self._skipped_images: Dict[str, Tuple[Optional[Dict[str, Any]], int, str, bool]] = {}
 
+    def cold_restart(self) -> None:
+        """Drop every piece of warm-sandbox state (the chaos harness calls
+        this when an invocation crashes): the epoch mirror re-hydrates from
+        storage on the next invocation, exactly like a real cold start."""
+        self._epoch_loaded = False
+        self._pending_callbacks = []
+        self._deferred = []
+        self._skipped_images = {}
+
     # ------------------------------------------------------------ epoch
     @property
     def sharded(self) -> bool:
@@ -254,6 +263,7 @@ class LeaderLogic:
         for i, msg in enumerate(batch):
             yield from self.process(fctx, msg,
                                     skip_paths=plan.get(i, frozenset()))
+            fctx.crash_point("leader_mid_batch")
         # Flush completions of coalesced messages: every superseding write
         # of this batch has landed by now, so an acknowledged write is
         # always readable.
@@ -323,6 +333,16 @@ class LeaderLogic:
             # Predecessor still unpopped — should not happen under FIFO
             # delivery, but redelivery is always safe.
             raise RetryBatch(f"txid {txid} behind {pending[0]} on {path}")
+
+        # Durable commit log: the record must exist before anything
+        # downstream (replication, distribution, watches, ack) can happen,
+        # so every applied txid is replayable after a crash.
+        if self.service.snapshots is not None:
+            yield from self.service.snapshots.append_log(
+                fctx, txid, self.shard,
+                [(p, image, is_parent, msg["op"])
+                 for p, image, is_parent in affected])
+            fctx.crash_point("leader_after_log")
 
         # Sharded: a parent may be written by several shard leaders (the
         # root is every top-level node's parent), so gate its replication
@@ -554,6 +574,12 @@ class LeaderLogic:
                 return None
         elif pending[0] != txid:
             raise RetryBatch(f"txid {txid} behind {pending[0]} on {primary}")
+
+        # Durable commit log (one record for the whole atomic batch).
+        if self.service.snapshots is not None:
+            yield from self.service.snapshots.append_log(
+                fctx, txid, self.shard, list(affected))
+            fctx.crash_point("leader_after_log")
 
         # A cross-shard multi rides the coordinator's queue, but other
         # shards keep writing the same paths: wait until the batch txid

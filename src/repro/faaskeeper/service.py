@@ -36,8 +36,10 @@ from .follower import FollowerLogic
 from .gc import GarbageCollectorLogic
 from .heartbeat import HeartbeatLogic
 from .layout import (
+    SYSTEM_LOG,
     SYSTEM_NODES,
     SYSTEM_SESSIONS,
+    SYSTEM_SNAPSHOT,
     SYSTEM_STATE,
     SYSTEM_WATCHES,
     epoch_key,
@@ -48,6 +50,7 @@ from .layout import (
 )
 from .leader import LeaderLogic
 from .model import KeeperState, Response, WatchedEvent
+from .snapshot import SnapshotManager
 from .watch_fn import WatchFanoutLogic
 from .watches import EpochLedger, WatchRegistry
 
@@ -188,6 +191,24 @@ class FaaSKeeperService:
         self.distribution: Optional[DistributionStage] = (
             DistributionStage(self) if config.distributor_enabled else None)
 
+        # --- durability: commit log + fuzzy snapshots (opt-in) ----------------
+        # Everything here is gated on commit_log_enabled so the default
+        # deployments keep their deployment-time RNG draws — and therefore
+        # their latency/cost fingerprints — bit-for-bit.
+        self.snapshots: Optional[SnapshotManager] = None
+        self.snapshot_fn = None
+        self.snapshot_task = None
+        if config.commit_log_enabled:
+            for table in (SYSTEM_LOG, SYSTEM_SNAPSHOT):
+                self.system_store.create_table(table)
+            self.snapshots = SnapshotManager(self)
+            self.snapshot_fn = cloud.deploy_function(
+                "fk-snapshot", self.snapshots.handler, **fn_kwargs)
+            if config.snapshot_auto_ms > 0:
+                self.snapshot_task = cloud.runtime.schedule(
+                    self.snapshot_fn, period_ms=config.snapshot_auto_ms)
+                self.snapshot_task.stop()  # scale-to-zero, like the heartbeat
+
         self.heartbeat_task = cloud.runtime.schedule(
             self.heartbeat_fn, period_ms=config.heartbeat_period_ms)
         self.heartbeat_task.stop()  # scale-to-zero until a client connects
@@ -306,6 +327,8 @@ class FaaSKeeperService:
         if self.active_sessions == 1:
             self.heartbeat_task.start()
             self.gc_task.start()
+            if self.snapshot_task is not None:
+                self.snapshot_task.start()
         return client
 
     def on_session_closed(self, session_id: str, evicted: bool = False) -> None:
@@ -320,6 +343,8 @@ class FaaSKeeperService:
             # the only remaining charges are storage retention (Section 5.3.4).
             self.heartbeat_task.stop()
             self.gc_task.stop()
+            if self.snapshot_task is not None:
+                self.snapshot_task.stop()
 
     # ------------------------------------------------------------ notification
     def notify_response(self, response: Response) -> Generator:
@@ -361,7 +386,31 @@ class FaaSKeeperService:
                 for t in triggered
             ],
         }
-        return self.cloud.runtime.invoke_direct(self.watch_fn, payload)
+        if self.config.free_fn_retries <= 0:
+            return self.cloud.runtime.invoke_direct(self.watch_fn, payload)
+        # AWS retries failed async invocations (up to twice); duplicated
+        # deliveries are deduplicated client-side by watch-instance id, so
+        # at-least-once invocation yields exactly-once callback effects.
+        done = self.cloud.env.event()
+        done.defused()
+        self.cloud.env.process(
+            self._invoke_watch_retrying(payload, done),
+            name="watch-invoke-retry")
+        return done
+
+    def _invoke_watch_retrying(self, payload: Dict[str, Any], done) -> Generator:
+        last: Optional[BaseException] = None
+        for _attempt in range(self.config.free_fn_retries + 1):
+            try:
+                result = yield self.cloud.runtime.invoke_direct(
+                    self.watch_fn, payload)
+            except Exception as exc:
+                last = exc
+                continue
+            done.succeed(result)
+            return None
+        done.fail(last)
+        return None
 
     # ------------------------------------------------------------ heartbeat
     def heartbeat_ping(self, session_id: str) -> Generator:

@@ -1,0 +1,327 @@
+"""Fuzzy snapshots and txid-bounded log compaction (ZooKeeper's
+durability design — Hunt et al., ATC'10 — transplanted onto the
+FaaSKeeper storage layout).
+
+Without this module the deployment's durability story ends at the system
+store: node *metadata* is durable, but the node data only exists inside
+queue messages in flight and in the per-region user stores — a region
+whose replica is lost can only be rebuilt from nothing.  With
+``commit_log_enabled`` three pieces close that gap:
+
+* **commit log** — the leader appends every committed transaction's
+  replication writes (full node images, parent metadata updates,
+  deletions) to a txid-keyed system table *before* replicating or
+  publishing, in the same storage transaction as a per-shard ``log-head``
+  watermark.  Within a shard the FIFO queue delivers txids in order, so
+  every committed txid at or below a shard's head provably has a log
+  record — the invariant the snapshot floor rests on.
+
+* **fuzzy snapshot** — :meth:`SnapshotManager.take_snapshot` folds the
+  log suffix above the previous floor into a per-path checkpoint table,
+  concurrent with ongoing commits (the fold never blocks the write
+  pipeline and bills reads/writes proportional to the *suffix*, not the
+  tree).  The new floor — ``min`` over shards of the log heads — is
+  published only after the fold completes; a crash mid-fold leaves some
+  checkpoint items ahead of the published floor, which is exactly
+  ZooKeeper's fuzzy-snapshot state: replaying the suffix from the floor
+  is idempotent because every fold/replay write is guarded by the item's
+  landed txid.
+
+* **compaction** — :meth:`SnapshotManager.compact` deletes log records
+  at or below ``min(snapshot floor, min over regions of replicated_tx)``.
+  The watermark clamp keeps the suffix a *lagging* region still needs:
+  a region that crashed mid-drain replays ``(replicated_tx, head]``
+  without reloading the snapshot.
+
+Cold start (:meth:`SnapshotManager.recover_region`) = load the snapshot
+table into the region's user store + replay the log suffix above the
+floor; recovery time is bounded by snapshot size + suffix length, never
+by total log length (``bench_recovery.py`` measures exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..cloud.context import OpContext
+from ..cloud.errors import ConditionFailed
+from ..cloud.expressions import Attr, Set, item_exists
+from .distributor import write_user_image
+from .layout import (
+    LOG_HEAD_KEY,
+    SNAPSHOT_META_KEY,
+    SYSTEM_LOG,
+    SYSTEM_SNAPSHOT,
+    SYSTEM_STATE,
+    log_key,
+    replicated_key,
+)
+
+__all__ = ["SnapshotManager"]
+
+
+class _RecoveryCtx:
+    """Minimal function-context stand-in so recovery can reuse
+    :func:`~repro.faaskeeper.distributor.write_user_image` (the exact
+    apply path the leader and distributor use — byte-identical images)."""
+
+    __slots__ = ("ctx",)
+
+    def __init__(self, ctx: OpContext) -> None:
+        self.ctx = ctx
+
+
+class SnapshotManager:
+    """Commit log, fuzzy snapshots, compaction and recovery for one
+    deployment (``service.snapshots``; None unless ``commit_log_enabled``).
+    """
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self.snapshots_taken = 0
+        self.records_folded = 0
+        self.log_records_compacted = 0
+        self.log_appends = 0
+        self.last_floor = 0
+
+    # ------------------------------------------------------------ log append
+    def append_log(self, fctx, txid: int, shard: int,
+                   writes: List[Tuple[str, Optional[Dict[str, Any]], bool, str]]
+                   ) -> Generator:
+        """Leader-side durable append, called after commit verification and
+        before replication/publish.  One storage transaction writes the log
+        record and advances the shard's head watermark; a redelivered
+        message (head already at or past ``txid``) is a no-op.
+        """
+        env = fctx.env
+        t0 = env.now
+        record = {
+            "txid": txid,
+            "shard": shard,
+            "writes": [[path, image, is_parent, op]
+                       for path, image, is_parent, op in writes],
+        }
+        head_attr = f"s{shard}"
+        try:
+            yield from self.service.system_store.transact_update(fctx.ctx, [
+                (SYSTEM_LOG, log_key(txid),
+                 [Set(k, v) for k, v in record.items()], None),
+                (SYSTEM_STATE, LOG_HEAD_KEY,
+                 [Set(head_attr, txid)],
+                 Attr(head_attr).not_exists() | (Attr(head_attr) <= txid)),
+            ])
+            self.log_appends += 1
+        except ConditionFailed:
+            # Head beyond txid: this shard already logged the record on an
+            # earlier delivery of the same message.
+            pass
+        fctx.record("log_append", env.now - t0)
+        return None
+
+    # ------------------------------------------------------------ floors
+    def _log_heads(self, ctx: OpContext) -> Generator[Any, Any, Dict[str, int]]:
+        heads = yield from self.service.system_store.get_item(
+            ctx, SYSTEM_STATE, LOG_HEAD_KEY)
+        return heads or {}
+
+    def _floor_from_heads(self, heads: Dict[str, int]) -> int:
+        """Snapshot floor: ``min`` over all shards of the logged watermark.
+        A shard that never logged pins the floor at 0 — conservative (the
+        snapshot simply cannot advance past traffic that may still be in
+        that shard's pipeline), never unsafe."""
+        return min(int(heads.get(f"s{i}", 0))
+                   for i in range(self.service.config.leader_shards))
+
+    def _meta(self, ctx: OpContext) -> Generator[Any, Any, Dict[str, int]]:
+        meta = yield from self.service.system_store.get_item(
+            ctx, SYSTEM_STATE, SNAPSHOT_META_KEY)
+        return meta or {"txid": 0, "seq": 0, "compacted": 0}
+
+    # ------------------------------------------------------------ snapshot
+    def take_snapshot(self, ctx: OpContext) -> Generator[Any, Any, int]:
+        """Fold the log suffix above the previous floor into the snapshot
+        table; returns the new floor (the previous one when nothing new is
+        fully logged).  Runs concurrent with commits — fuzzy: items folded
+        before a crash stay ahead of the published floor and the guarded
+        (per-item landed-txid) writes make the re-fold idempotent."""
+        store = self.service.system_store
+        heads = yield from self._log_heads(ctx)
+        floor = self._floor_from_heads(heads)
+        meta = yield from self._meta(ctx)
+        prev = int(meta.get("txid", 0))
+        if floor <= prev:
+            return prev
+        for txid in range(prev + 1, floor + 1):
+            record = yield from store.get_item(ctx, SYSTEM_LOG, log_key(txid))
+            if record is None:
+                continue  # txid burned by a rejected write: no commit
+            yield from self._fold_record(ctx, record)
+            self.records_folded += 1
+        yield from store.put_item(ctx, SYSTEM_STATE, SNAPSHOT_META_KEY, {
+            "txid": floor,
+            "seq": int(meta.get("seq", 0)) + 1,
+            "compacted": int(meta.get("compacted", 0)),
+        })
+        self.snapshots_taken += 1
+        self.last_floor = floor
+        return floor
+
+    def _fold_record(self, ctx: OpContext, record: Dict[str, Any]) -> Generator:
+        """Apply one log record to the checkpoint, newest-txid-wins.  Every
+        write is guarded by the checkpoint item's landed txid, so re-folding
+        after a crashed (fuzzy) snapshot never regresses an item."""
+        store = self.service.system_store
+        txid = record["txid"]
+        newer = Attr("txid").not_exists() | (Attr("txid") < txid)
+        for path, image, is_parent, _op in record["writes"]:
+            if image is None:  # pragma: no cover - defensive
+                continue
+            if image.get("deleted"):
+                try:
+                    yield from store.delete_item(
+                        ctx, SYSTEM_SNAPSHOT, path, condition=newer)
+                except ConditionFailed:
+                    pass  # a later record already re-created the path
+                continue
+            folded = {k: v for k, v in image.items() if k != "meta_only"}
+            if is_parent:
+                # Parent updates carry metadata only; preserve the data the
+                # checkpoint already holds (read-update-write, the same
+                # shape as the user store's update_metadata).
+                existing = yield from store.get_item(ctx, SYSTEM_SNAPSHOT, path)
+                folded["data"] = ((existing or {}).get("image") or {}).get(
+                    "data", b"")
+            else:
+                folded["modified_tx"] = txid
+                if _op == "create":
+                    folded["created_tx"] = txid
+            try:
+                yield from store.put_item(
+                    ctx, SYSTEM_SNAPSHOT, path,
+                    {"txid": txid, "image": folded}, condition=newer)
+            except ConditionFailed:
+                pass  # checkpoint item already past this txid (re-fold)
+        return None
+
+    # ------------------------------------------------------------ compaction
+    def compact(self, ctx: OpContext) -> Generator[Any, Any, int]:
+        """Truncate the log up to ``min(snapshot floor, slowest region's
+        replicated_tx)``; returns the number of records removed.  The
+        watermark clamp is load-bearing: a lagging region recovers by
+        replaying its suffix ``(replicated_tx, head]`` — compaction must
+        never eat records that suffix still needs."""
+        if not self.service.config.compaction_enabled:
+            return 0
+        store = self.service.system_store
+        meta = yield from self._meta(ctx)
+        cut = int(meta.get("txid", 0))
+        if self.service.distribution is not None:
+            for region in self.service.config.regions:
+                mark = yield from store.get_item(
+                    ctx, SYSTEM_STATE, replicated_key(region))
+                cut = min(cut, int((mark or {}).get("txid", 0)))
+        start = int(meta.get("compacted", 0))
+        if cut <= start:
+            return 0
+        removed = 0
+        for txid in range(start + 1, cut + 1):
+            try:
+                yield from store.delete_item(ctx, SYSTEM_LOG, log_key(txid),
+                                             condition=item_exists())
+                removed += 1
+            except ConditionFailed:
+                continue  # burned txid: no record was ever written
+        try:
+            yield from store.update_item(
+                ctx, SYSTEM_STATE, SNAPSHOT_META_KEY,
+                updates=[Set("compacted", cut)],
+                condition=Attr("compacted").not_exists()
+                | (Attr("compacted") < cut),
+                payload_kb=0.032)
+        except ConditionFailed:  # pragma: no cover - concurrent compactor
+            pass
+        self.log_records_compacted += removed
+        return removed
+
+    # ------------------------------------------------------------ recovery
+    def recover_region(self, ctx: OpContext, region: str,
+                       cold: bool = False) -> Generator[Any, Any, Dict[str, int]]:
+        """Rebuild (``cold=True``: the replica is gone — load the snapshot,
+        then replay the suffix above the floor) or catch up (``cold=False``:
+        the store survived — replay the suffix above the region's
+        ``replicated_tx``) one region's user store from durable state.
+
+        Replay applies records in txid order through the exact
+        ``write_user_image`` path the write pipelines use, so a recovered
+        replica is byte-identical to one that never crashed; re-applying
+        records the store already holds converges for the same reason the
+        distributor's redeliveries do (per-path last-writer-wins in commit
+        order).  Works for distributor regions and for the inline
+        (leader-replicated) pipeline alike.
+        """
+        store = self.service.system_store
+        fctx = _RecoveryCtx(ctx)
+        meta = yield from self._meta(ctx)
+        floor = int(meta.get("txid", 0))
+        heads = yield from self._log_heads(ctx)
+        top = max([int(heads.get(f"s{i}", 0))
+                   for i in range(self.service.config.leader_shards)] + [0])
+        loaded = 0
+        if cold:
+            start = floor
+            checkpoint = yield from store.scan(ctx, SYSTEM_SNAPSHOT)
+            for path in sorted(checkpoint):
+                image = dict(checkpoint[path]["image"])
+                image.setdefault("epoch", [])
+                yield from self.service.user_store.write_node(
+                    ctx, region, path, image)
+                loaded += 1
+        else:
+            start = int(meta.get("compacted", 0))
+            if self.service.distribution is not None:
+                mark = yield from store.get_item(
+                    ctx, SYSTEM_STATE, replicated_key(region))
+                start = max(start, int((mark or {}).get("txid", 0)))
+        replayed_txids: List[int] = []
+        for txid in range(start + 1, top + 1):
+            record = yield from store.get_item(ctx, SYSTEM_LOG, log_key(txid))
+            if record is None:
+                continue
+            for path, image, is_parent, op in record["writes"]:
+                yield from write_user_image(
+                    self.service.user_store, fctx, region, path, image,
+                    epoch=[], txid=txid, op=op, is_parent=is_parent)
+            replayed_txids.append(txid)
+        if self.service.distribution is not None and replayed_txids:
+            newest = replayed_txids[-1]
+            try:
+                yield from store.update_item(
+                    ctx, SYSTEM_STATE, replicated_key(region),
+                    updates=[Set("txid", newest)],
+                    condition=Attr("txid").not_exists()
+                    | (Attr("txid") < newest),
+                    payload_kb=0.032)
+            except ConditionFailed:  # pragma: no cover - already ahead
+                pass
+            self.service.distribution.visibility.mark(region, replayed_txids)
+        return {"loaded": loaded, "replayed": len(replayed_txids),
+                "floor": floor, "start": start, "top": top}
+
+    # ------------------------------------------------------------ scheduled fn
+    def handler(self, fctx, payload: Any) -> Generator:
+        """The ``fk-snapshot`` scheduled function: one fuzzy snapshot + one
+        compaction sweep per firing (suspended at scale-to-zero, like the
+        heartbeat and the GC sweeper)."""
+        floor = yield from self.take_snapshot(fctx.ctx)
+        removed = yield from self.compact(fctx.ctx)
+        return {"floor": floor, "compacted": removed}
+
+    # ------------------------------------------------------------ accounting
+    def stats(self) -> Dict[str, float]:
+        return {
+            "log_appends": float(self.log_appends),
+            "snapshots_taken": float(self.snapshots_taken),
+            "records_folded": float(self.records_folded),
+            "log_records_compacted": float(self.log_records_compacted),
+            "last_floor": float(self.last_floor),
+        }

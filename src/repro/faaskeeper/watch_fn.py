@@ -43,11 +43,16 @@ class WatchFanoutLogic:
         """payload = {"txid": int, "shard": int, "origin": str,
         "watches": [{watch_id, path, event, sessions}, ...]}"""
         env = fctx.env
+        fctx.crash_point("watch_entry")
         txid = payload["txid"]
         shard = payload.get("shard", 0)
         origin = payload.get("origin", "leader")
         deliveries = []
         for watch in payload["watches"]:
+            # Crash between spawning per-session deliveries: the retried
+            # invocation re-spawns every delivery and the client library
+            # deduplicates by watch-instance id (one-shot semantics).
+            fctx.crash_point("watch_mid_fanout")
             event = WatchedEvent(
                 type=EventType(watch["event"]),
                 path=watch["path"],

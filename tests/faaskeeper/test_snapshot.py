@@ -1,0 +1,259 @@
+"""Commit log, fuzzy snapshots, compaction and recovery (snapshot.py).
+
+ZooKeeper's durability design on the FaaSKeeper layout: the leader logs
+every committed transaction's replication writes, a fuzzy snapshot folds
+the log into a per-path checkpoint concurrent with commits, compaction
+truncates the folded prefix (clamped by the slowest region's
+``replicated_tx`` watermark), and a region's user store rebuilds from
+snapshot + suffix after replica loss.
+"""
+
+import pytest
+
+from repro.faaskeeper import FaaSKeeperConfig
+from repro.faaskeeper.chaos import region_user_image, wipe_user_region
+from repro.faaskeeper.layout import (
+    LOG_HEAD_KEY,
+    SNAPSHOT_META_KEY,
+    SYSTEM_LOG,
+    SYSTEM_SNAPSHOT,
+    SYSTEM_STATE,
+    log_key,
+    replicated_key,
+)
+from .conftest import make_service
+
+
+def snapshot_now(cloud, service):
+    return cloud.run_process(service.snapshots.take_snapshot(service.system_ctx))
+
+
+def compact_now(cloud, service):
+    return cloud.run_process(service.snapshots.compact(service.system_ctx))
+
+
+def recover_now(cloud, service, region, cold):
+    return cloud.run_process(service.snapshots.recover_region(
+        service.system_ctx, region, cold=cold))
+
+
+def log_txids(service):
+    return sorted(int(k) for k in service.system_store.table(SYSTEM_LOG).keys())
+
+
+def test_default_deployment_has_no_log():
+    """The commit log is opt-in: the default deployment neither creates
+    the tables nor pays any per-commit work."""
+    cloud, service = make_service(seed=500)
+    assert service.snapshots is None
+    c = service.connect()
+    c.create("/a", b"x")
+    assert SYSTEM_LOG not in service.system_store.tables
+
+
+def test_commit_log_records_every_committed_txid():
+    cloud, service = make_service(seed=501, commit_log_enabled=True)
+    c = service.connect()
+    nodes = service.system_store.table("fk-system-nodes")
+    c.create("/a", b"v0")
+    c.create("/b", b"w0")
+    txids = [nodes.raw("/a")["created_tx"],
+             nodes.raw("/b")["created_tx"],
+             c.set_data("/a", b"v1").txid]
+    log = service.system_store.table(SYSTEM_LOG)
+    for txid in txids:
+        record = log.raw(log_key(txid))
+        assert record is not None and record["txid"] == txid
+    heads = service.system_store.table(SYSTEM_STATE).raw(LOG_HEAD_KEY)
+    assert heads["s0"] == max(txids)
+
+
+def test_fuzzy_snapshot_folds_newest_images():
+    cloud, service = make_service(seed=502, commit_log_enabled=True)
+    c = service.connect()
+    c.create("/a", b"old")
+    c.set_data("/a", b"new")
+    c.create("/gone", b"bye")
+    c.delete("/gone")
+    floor = snapshot_now(cloud, service)
+    heads = service.system_store.table(SYSTEM_STATE).raw(LOG_HEAD_KEY)
+    assert floor == heads["s0"]
+    snap = service.system_store.table(SYSTEM_SNAPSHOT)
+    a = snap.raw("/a")
+    assert a["image"]["data"] == b"new" and a["image"]["version"] == 1
+    assert snap.raw("/gone") is None  # folded delete removes the item
+    # parent metadata folded without clobbering data
+    root = snap.raw("/")
+    assert root is not None and "children" in root["image"]
+    meta = service.system_store.table(SYSTEM_STATE).raw(SNAPSHOT_META_KEY)
+    assert meta["txid"] == floor and meta["seq"] == 1
+
+
+def test_snapshot_is_incremental_and_refold_is_idempotent():
+    cloud, service = make_service(seed=503, commit_log_enabled=True)
+    c = service.connect()
+    c.create("/a", b"v0")
+    first = snapshot_now(cloud, service)
+    folded_first = service.snapshots.records_folded
+    # nothing new: the floor does not move, nothing is re-folded
+    assert snapshot_now(cloud, service) == first
+    assert service.snapshots.records_folded == folded_first
+    c.set_data("/a", b"v1")
+    second = snapshot_now(cloud, service)
+    assert second > first
+    snap = service.system_store.table(SYSTEM_SNAPSHOT)
+    assert snap.raw("/a")["image"]["data"] == b"v1"
+
+
+def test_compaction_truncates_folded_prefix():
+    cloud, service = make_service(seed=504, commit_log_enabled=True)
+    c = service.connect()
+    for i in range(6):
+        c.set_data("/a", f"v{i}".encode()) if i else c.create("/a", b"v0")
+    floor = snapshot_now(cloud, service)
+    assert log_txids(service)  # records exist below the floor
+    removed = compact_now(cloud, service)
+    assert removed > 0
+    assert all(txid > floor for txid in log_txids(service))
+    meta = service.system_store.table(SYSTEM_STATE).raw(SNAPSHOT_META_KEY)
+    assert meta["compacted"] == floor
+    # a second sweep with no new snapshot is a no-op
+    assert compact_now(cloud, service) == 0
+
+
+def test_compaction_disabled_keeps_full_log():
+    cloud, service = make_service(seed=505, commit_log_enabled=True,
+                                  compaction_enabled=False)
+    c = service.connect()
+    c.create("/a", b"v0")
+    c.set_data("/a", b"v1")
+    snapshot_now(cloud, service)
+    before = log_txids(service)
+    assert compact_now(cloud, service) == 0
+    assert log_txids(service) == before
+
+
+def test_compaction_never_truncates_above_lagging_region_watermark():
+    """Satellite regression: the compaction cut is clamped to the minimum
+    per-region ``replicated_tx`` watermark, so a lagging region can still
+    replay its suffix from its own watermark after the sweep."""
+    cloud, service = make_service(
+        seed=506, commit_log_enabled=True, distributor_enabled=True,
+        regions=["us-east-1", "eu-west-1"])
+    c = service.connect()
+    for i in range(5):
+        c.set_data("/a", f"v{i}".encode()) if i else c.create("/a", b"v0")
+    cloud.run(until=cloud.now + 10_000)  # let both regions drain
+    floor = snapshot_now(cloud, service)
+    state = service.system_store.table(SYSTEM_STATE)
+    # Make eu-west-1 lag: wind its watermark back below the floor, as if
+    # its distributor had crashed before draining the later records.
+    lag = 2
+    assert lag < floor
+    state._store(replicated_key("eu-west-1"), {"txid": lag})
+    compact_now(cloud, service)
+    meta = state.raw(SNAPSHOT_META_KEY)
+    assert meta["compacted"] == lag  # clamped, not the snapshot floor
+    remaining = log_txids(service)
+    assert all(txid > lag for txid in remaining)
+    # the lagging region's suffix is intact and warm recovery replays it
+    wiped = [t for t in range(lag + 1, floor + 1)]
+    assert set(wiped) <= set(remaining)
+    stats = recover_now(cloud, service, "eu-west-1", cold=False)
+    assert stats["replayed"] >= len(wiped)
+    assert state.raw(replicated_key("eu-west-1"))["txid"] >= floor
+
+
+def test_cold_recovery_rebuilds_wiped_region_from_snapshot_plus_suffix():
+    cloud, service = make_service(seed=507, commit_log_enabled=True)
+    c = service.connect()
+    c.create("/a", b"v0")
+    c.create("/a/kid", b"k0")
+    c.set_data("/a", b"v1")
+    snapshot_now(cloud, service)
+    compact_now(cloud, service)
+    c.set_data("/a/kid", b"k1")  # suffix: logged but not snapshotted
+    c.create("/late", b"fresh")
+    region = service.config.primary_region
+    before = {p: region_user_image(service, region, p)
+              for p in ("/a", "/a/kid", "/late")}
+    wipe_user_region(service, region)
+    assert region_user_image(service, region, "/a") is None
+    stats = recover_now(cloud, service, region, cold=True)
+    assert stats["loaded"] >= 2 and stats["replayed"] >= 2
+    for path, image in before.items():
+        got = region_user_image(service, region, path)
+        assert got is not None, path
+        assert got.get("data") == image.get("data"), path
+        assert got.get("version") == image.get("version"), path
+        assert got.get("modified_tx") == image.get("modified_tx"), path
+
+
+def test_cold_recovery_applies_suffix_deletes():
+    cloud, service = make_service(seed=508, commit_log_enabled=True)
+    c = service.connect()
+    c.create("/doomed", b"x")
+    snapshot_now(cloud, service)
+    c.delete("/doomed")  # delete lives only in the suffix
+    region = service.config.primary_region
+    wipe_user_region(service, region)
+    recover_now(cloud, service, region, cold=True)
+    assert region_user_image(service, region, "/doomed") is None
+
+
+def test_scheduled_snapshot_function_runs_and_compacts():
+    cloud, service = make_service(seed=509, commit_log_enabled=True,
+                                  snapshot_auto_ms=5_000.0)
+    c = service.connect()
+    c.create("/a", b"v0")
+    c.set_data("/a", b"v1")
+    cloud.run(until=cloud.now + 30_000)
+    assert service.snapshots.snapshots_taken >= 1
+    assert service.snapshots.log_records_compacted >= 1
+    snap = service.system_store.table(SYSTEM_SNAPSHOT)
+    assert snap.raw("/a")["image"]["data"] == b"v1"
+
+
+def test_snapshot_auto_requires_commit_log():
+    with pytest.raises(ValueError):
+        FaaSKeeperConfig(snapshot_auto_ms=1000.0)
+
+
+def test_redelivered_append_does_not_regress_log_head():
+    """A leader crash after the log append redelivers the batch; the
+    second append is a no-op and the head watermark never regresses."""
+    cloud, service = make_service(seed=510, commit_log_enabled=True)
+    c = service.connect()
+    c.create("/a", b"v0")
+    service.leader_fn.plan_crash(
+        "leader_after_log",
+        invocations=[service.leader_fn.invocations + 1])
+    res = c.set_data("/a", b"v1")
+    assert res.version == 1
+    assert service.leader_fn.failures == 1
+    log = service.system_store.table(SYSTEM_LOG)
+    record = log.raw(log_key(res.txid))
+    assert record is not None and record["txid"] == res.txid
+    heads = service.system_store.table(SYSTEM_STATE).raw(LOG_HEAD_KEY)
+    assert heads["s0"] == res.txid
+    data, _ = c.get_data("/a")
+    assert data == b"v1"
+
+
+def test_sharded_floor_is_min_over_shards():
+    """With several shards the snapshot floor is the minimum per-shard
+    head: traffic on one shard cannot advance the floor past another
+    shard's unlogged pipeline."""
+    cloud, service = make_service(seed=511, commit_log_enabled=True,
+                                  leader_shards=4)
+    c = service.connect()
+    paths = ["/a", "/b", "/c", "/d", "/e"]
+    for p in paths:
+        c.create(p, b"x")
+    shards_hit = {service.shard_of(p) for p in paths}
+    assert len(shards_hit) > 1  # the workload actually spans shards
+    heads = service.system_store.table(SYSTEM_STATE).raw(LOG_HEAD_KEY)
+    per_shard = [heads.get(f"s{i}", 0)
+                 for i in range(service.config.leader_shards)]
+    floor = snapshot_now(cloud, service)
+    assert floor == min(per_shard)

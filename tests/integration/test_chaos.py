@@ -1,0 +1,188 @@
+"""Seeded crash-restart chaos suite (the CI `chaos` job).
+
+Every scenario stands up a full deployment with the commit log enabled,
+arms one pipeline stage with seeded random crashes
+(:class:`~repro.faaskeeper.chaos.ChaosMonkey`), drives a randomized
+write/watch workload to quiescence, and audits exactly-once end effects:
+no acknowledged write lost, no write applied twice (version/txid
+mismatches), every acknowledged txid visible in every region's
+``replicated_tx`` watermark, every one-shot watch delivered exactly once
+per instance, every epoch counter drained.
+
+The matrix mirrors CI: leader shards {1, 4} x distributor {off,
+on_commit} x crashed stage {leader, distributor, watch}.  Seeds come
+from ``FK_CHAOS_SEEDS`` (how many, default 12; CI runs 50+) or
+``FK_CHAOS_SEED`` (exactly one — the reproduce-a-CI-failure knob; any
+failure message prints the seed to export).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.faaskeeper import FaaSKeeperConfig, FaaSKeeperService
+from repro.faaskeeper.chaos import (
+    ChaosMonkey,
+    region_user_image,
+    verify_exactly_once,
+    wipe_user_region,
+)
+
+CONFIGS = {
+    "s1": dict(leader_shards=1),
+    "s4": dict(leader_shards=4),
+    "s1-dist": dict(leader_shards=1, distributor_enabled=True,
+                    ack_policy="on_commit",
+                    regions=["us-east-1", "eu-west-1"]),
+    "s4-dist": dict(leader_shards=4, distributor_enabled=True,
+                    ack_policy="on_commit",
+                    regions=["us-east-1", "eu-west-1"]),
+}
+
+#: (config name, crashed stage): distributor crashes need a distributor.
+MATRIX = [
+    ("s1", "leader"), ("s1", "watch"),
+    ("s4", "leader"), ("s4", "watch"),
+    ("s1-dist", "leader"), ("s1-dist", "distributor"), ("s1-dist", "watch"),
+    ("s4-dist", "leader"), ("s4-dist", "distributor"), ("s4-dist", "watch"),
+]
+
+
+def chaos_seeds():
+    pinned = os.environ.get("FK_CHAOS_SEED")
+    if pinned:  # empty string = unset (CI passes '' when not pinning)
+        return [int(pinned)]
+    count = int(os.environ.get("FK_CHAOS_SEEDS", "12"))
+    return list(range(1, count + 1))
+
+
+def run_scenario(seed, config_name, stage):
+    """One seeded crash-restart scenario; returns violation strings."""
+    cloud = Cloud.aws(seed=seed)
+    config = FaaSKeeperConfig(commit_log_enabled=True, free_fn_retries=2,
+                              **CONFIGS[config_name])
+    service = FaaSKeeperService.deploy(cloud, config)
+    monkey = ChaosMonkey(service, seed=seed * 7919 + 13, stages=[stage],
+                         probability=0.4, budget_per_point=2)
+    rng = random.Random(seed)
+
+    writer = service.connect()
+    watcher = service.connect()
+    paths = ["/a", "/b", "/c"]
+    expected = {}
+    for path in paths + ["/doomed"]:
+        writer.create(path, b"init")
+        expected[path] = b"init"
+    # on_commit acks run ahead of replication: let the creates land in
+    # every region before the watcher reads them.
+    cloud.run(until=cloud.now + 60_000)
+
+    # One-shot watches, armed before the write traffic: each instance
+    # must fire exactly once, crash-retried fan-outs notwithstanding.
+    watch_counts = {}
+    for path in ("/a", "/b"):
+        slot = {"fired": 0}
+        watch_counts[path] = slot
+        watcher.get_data(
+            path, watch=lambda _ev, s=slot: s.__setitem__(
+                "fired", s["fired"] + 1))
+
+    futures = []
+    for i in range(rng.randint(8, 14)):
+        path = rng.choice(paths)
+        data = f"{path[1:]}-{i}".encode()
+        futures.append((path, data, writer.set_data_async(path, data)))
+    delete_fut = writer.delete_async("/doomed")
+
+    cloud.run(until=cloud.now + 240_000)
+
+    violations = []
+    for path, data, fut in futures:
+        if not fut.done:
+            violations.append(f"write {data!r} to {path} never completed")
+            continue
+        fut.wait()  # raises only on a dropped request: a real violation
+        expected[path] = data  # session FIFO: last submitted wins (Z2)
+    if delete_fut.done:
+        delete_fut.wait()
+        expected["/doomed"] = None
+    else:
+        violations.append("delete of /doomed never completed")
+    acked = [fut.wait().txid for _p, _d, fut in futures if fut.done]
+
+    cloud.run(until=cloud.now + 120_000)  # drain fan-outs + replication
+
+    violations += verify_exactly_once(service, expected, acked)
+    written = {path for path, _d, _f in futures}
+    for path, slot in watch_counts.items():
+        want = 1 if path in written else 0  # one-shot: exactly once, or never
+        if slot["fired"] != want:
+            violations.append(
+                f"watch on {path} fired {slot['fired']} times (want {want})")
+    # Every injected crash must have cost the sandbox its warm state.
+    # (RetryBatch redeliveries also restart, so >= rather than ==.)
+    if monkey.restarts < len(monkey.crashes):
+        violations.append(
+            f"{len(monkey.crashes)} crashes but only "
+            f"{monkey.restarts} restarts")
+    return violations, monkey, cloud, service, expected
+
+
+@pytest.mark.parametrize("config_name,stage", MATRIX,
+                         ids=[f"{c}-{s}" for c, s in MATRIX])
+def test_exactly_once_under_seeded_crashes(config_name, stage):
+    seeds = chaos_seeds()
+    crashes_seen = 0
+    for seed in seeds:
+        violations, monkey, _cloud, _svc, _exp = run_scenario(
+            seed, config_name, stage)
+        crashes_seen += len(monkey.crashes)
+        if violations:
+            pytest.fail(
+                f"[config={config_name} stage={stage} seed={seed}] "
+                + "; ".join(violations)
+                + f"\ncrash schedule: {monkey.crashes}"
+                + f"\nreproduce locally: FK_CHAOS_SEED={seed} "
+                f"python -m pytest "
+                f"'tests/integration/test_chaos.py::"
+                f"test_exactly_once_under_seeded_crashes"
+                f"[{config_name}-{stage}]'")
+    # The suite must actually exercise crashes, not pass vacuously.
+    assert crashes_seen > 0, \
+        f"no crash ever triggered across seeds {seeds[:3]}..{seeds[-1:]}"
+
+
+def test_region_wipe_after_chaos_recovers_from_snapshot():
+    """Disaster drill on top of a chaos run: crash the distributor during
+    the workload, snapshot + compact, wipe the secondary region, cold
+    recover, and audit the rebuilt replica like any other region."""
+    seeds = chaos_seeds()[:3]
+    for seed in seeds:
+        violations, monkey, cloud, service, expected = run_scenario(
+            seed, "s1-dist", "distributor")
+        assert not violations, f"[seed={seed}] pre-wipe: {violations}"
+        cloud.run_process(service.snapshots.take_snapshot(service.system_ctx))
+        cloud.run_process(service.snapshots.compact(service.system_ctx))
+        region = "eu-west-1"
+        wipe_user_region(service, region)
+        cloud.run_process(service.snapshots.recover_region(
+            service.system_ctx, region, cold=True))
+        for path, final in expected.items():
+            image = region_user_image(service, region, path)
+            if final is None:
+                assert image is None, \
+                    f"[seed={seed}] {path}@{region} resurrected after recovery"
+            else:
+                assert image is not None and image.get("data") == final, \
+                    (f"[seed={seed}] {path}@{region} lost after recovery; "
+                     f"reproduce: FK_CHAOS_SEED={seed}")
+
+
+def test_chaos_seed_env_pins_single_seed(monkeypatch):
+    monkeypatch.setenv("FK_CHAOS_SEED", "42")
+    assert chaos_seeds() == [42]
+    monkeypatch.setenv("FK_CHAOS_SEED", "")  # CI passes '' when not pinning
+    monkeypatch.setenv("FK_CHAOS_SEEDS", "3")
+    assert chaos_seeds() == [1, 2, 3]
