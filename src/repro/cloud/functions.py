@@ -80,6 +80,8 @@ class FunctionContext:
     def record(self, segment: str, elapsed_ms: float) -> None:
         """Record a timing probe (drives Figure 10 / Table 3)."""
         self.function.segments[segment].append(elapsed_ms)
+        if self.function.on_segment is not None:
+            self.function.on_segment(segment, elapsed_ms)
 
     def compute(self, base_ms: float = 0.0, payload_kb: float = 0.0,
                 per_kb_ms: float = 0.02) -> Event:
@@ -123,6 +125,10 @@ class DeployedFunction:
         #: dies (crash harnesses model the sandbox loss here); must not
         #: raise — it runs on the provider side of the failure path.
         self.on_failure: Optional[Callable[["DeployedFunction", BaseException], None]] = None
+        #: Observer called as ``on_segment(segment, elapsed_ms)`` for every
+        #: timing probe the handler records — the hook metrics registries
+        #: attach to; must not raise or touch the simulation clock.
+        self.on_segment: Optional[Callable[[str, float], None]] = None
         self._active = 0
 
     # ---------------------------------------------------------------- faults

@@ -13,7 +13,13 @@ Public entry points::
 """
 
 from .cache import ClientReadCache
-from .chaos import ChaosMonkey, verify_exactly_once, wipe_user_region
+from .chaos import (
+    ChaosMonkey,
+    verify_exactly_once,
+    verify_outbox_delivery,
+    wipe_system_tables,
+    wipe_user_region,
+)
 from .client import (
     ClientEvent,
     FaaSKeeperClient,
@@ -55,6 +61,17 @@ from .model import (
     WatchType,
     acl_allows,
 )
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .outbox import (
+    FakeHttp,
+    FileSink,
+    InProcSink,
+    OutboxStage,
+    Sink,
+    WebhookSink,
+    make_sink,
+    register_sink,
+)
 from .service import FaaSKeeperService
 from .snapshot import SnapshotManager
 from .watches import ChildrenWatch, DataWatch
@@ -77,7 +94,21 @@ __all__ = [
     "SnapshotManager",
     "ChaosMonkey",
     "wipe_user_region",
+    "wipe_system_tables",
     "verify_exactly_once",
+    "verify_outbox_delivery",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "OutboxStage",
+    "Sink",
+    "InProcSink",
+    "FileSink",
+    "WebhookSink",
+    "FakeHttp",
+    "make_sink",
+    "register_sink",
     "FKFuture",
     "Transaction",
     "WriteResult",

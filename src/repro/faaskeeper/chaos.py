@@ -38,8 +38,13 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from .config import UserStoreKind
 from .layout import (
+    LOG_HEAD_KEY,
+    OUTBOX_DEAD_LETTER_KEY,
+    OUTBOX_PUBLISHED_KEY,
     SYSTEM_NODES,
+    SYSTEM_SESSIONS,
     SYSTEM_STATE,
+    SYSTEM_WATCHES,
     USER_BUCKET,
     USER_TABLE,
     epoch_key,
@@ -47,7 +52,8 @@ from .layout import (
 from .service import FaaSKeeperService
 
 __all__ = ["ChaosMonkey", "CRASH_POINTS", "wipe_user_region",
-           "region_user_image", "verify_exactly_once"]
+           "wipe_system_tables", "region_user_image", "verify_exactly_once",
+           "verify_outbox_delivery"]
 
 #: Stage -> crash points the harness knows how to arm.
 CRASH_POINTS: Dict[str, Tuple[str, ...]] = {
@@ -55,6 +61,7 @@ CRASH_POINTS: Dict[str, Tuple[str, ...]] = {
     "distributor": ("dist_entry", "dist_after_watch_stage",
                     "dist_before_visible"),
     "watch": ("watch_entry", "watch_mid_fanout"),
+    "outbox": ("outbox_entry", "outbox_mid_drain", "outbox_after_sink"),
 }
 
 
@@ -94,6 +101,13 @@ class ChaosMonkey:
             for region, fn in stage.fns.items():
                 self._arm(fn, stage.logics[region],
                           CRASH_POINTS["distributor"], budget_per_point)
+        if "outbox" in wanted and service.outbox is not None:
+            # Liveness: the scheduled publisher keeps firing (and retries a
+            # failed invocation once per period), so any finite budget
+            # converges — once it is spent, the next drain runs clean and
+            # the durable watermark catches up.
+            self._arm(service.outbox.fn, service.outbox.publisher,
+                      CRASH_POINTS["outbox"], budget_per_point)
         if "watch" in wanted and service.config.free_fn_retries > 0:
             # Liveness: at most free_fn_retries crashes across ALL watch
             # points of one function, so the final retry always runs clean.
@@ -156,6 +170,18 @@ def wipe_user_region(service: FaaSKeeperService, region: str) -> None:
         cloud.objectstore("s3", region=region)._buckets[USER_BUCKET].clear()
     if kind == UserStoreKind.REDIS:
         cloud.cache("redis", region=region)._data.clear()
+
+
+def wipe_system_tables(service: FaaSKeeperService) -> None:
+    """Destroy the coordination tables in place — the node index, watch
+    instances and session records — the disaster
+    :meth:`SnapshotManager.recover_system` rebuilds from.  The durable
+    substrate (commit log, snapshot table, state watermarks) survives,
+    exactly as a multi-region deployment losing its system region's
+    tables but not its replicated log would."""
+    store = service.system_store
+    for table in (SYSTEM_NODES, SYSTEM_WATCHES, SYSTEM_SESSIONS):
+        store.table(table)._items.clear()
 
 
 def region_user_image(service: FaaSKeeperService, region: str,
@@ -263,4 +289,67 @@ def verify_exactly_once(service: FaaSKeeperService,
         if epoch_item.get("items"):
             violations.append(
                 f"epoch counter {region} not drained: {epoch_item['items']}")
+    violations.extend(verify_outbox_delivery(service, acked_txids))
+    return violations
+
+
+def verify_outbox_delivery(service: FaaSKeeperService,
+                           acked_txids: Optional[Iterable[int]] = None
+                           ) -> List[str]:
+    """Audit the outbox's delivery guarantees on a quiesced deployment
+    (no-op without the outbox).  At-least-once with redelivery means a
+    sink may see duplicates — but only *faithful* ones, and order must
+    survive them:
+
+    * deduplicated by ``(txid, path)``, every path's event sequence at
+      every sink is strictly increasing in txid (per-path publish order);
+    * two deliveries of the same ``(txid, path)`` never disagree on the
+      event payload (a redelivery replays, never rewrites);
+    * every acknowledged transaction **at or below the publish floor**
+      (``min`` over shards of the durable log heads — above it records
+      are not yet eligible, the documented idle-shard stall) is accounted
+      for at every sink — delivered, or parked in the dead-letter list
+      (no lost events).
+    """
+    violations: List[str] = []
+    outbox = service.outbox
+    if outbox is None:
+        return violations
+    state = service.system_store.table(SYSTEM_STATE)
+    mark = int((state.raw(OUTBOX_PUBLISHED_KEY) or {}).get("txid", 0))
+    heads = state.raw(LOG_HEAD_KEY) or {}
+    floor = min(int(heads.get(f"s{i}", 0))
+                for i in range(service.config.leader_shards))
+    dead_by_sink: Dict[str, set] = {}
+    for entry in (state.raw(OUTBOX_DEAD_LETTER_KEY) or {}).get("items", []):
+        dead_by_sink.setdefault(entry["sink"], set()).add(entry["txid"])
+
+    for label, sink in outbox.sinks:
+        seen: Dict[Tuple[int, str], Tuple[Any, ...]] = {}
+        newest_per_path: Dict[str, int] = {}
+        for ev in sink.delivered:
+            key = (ev["txid"], ev["path"])
+            payload = (ev["op"], ev.get("session"))
+            if key in seen:
+                if seen[key] != payload:
+                    violations.append(
+                        f"outbox[{label}]: redelivery of txid {key[0]} on "
+                        f"{key[1]} changed payload {seen[key]} -> {payload}")
+                continue  # faithful duplicate: legal under at-least-once
+            seen[key] = payload
+            if newest_per_path.get(ev["path"], 0) >= ev["txid"]:
+                violations.append(
+                    f"outbox[{label}]: {ev['path']} delivered txid "
+                    f"{ev['txid']} after {newest_per_path[ev['path']]}")
+            else:
+                newest_per_path[ev["path"]] = ev["txid"]
+        accounted = {txid for txid, _path in seen} | dead_by_sink.get(label,
+                                                                      set())
+        if acked_txids is not None:
+            for txid in sorted(set(acked_txids)):
+                if txid <= floor and txid not in accounted:
+                    violations.append(
+                        f"outbox[{label}]: acked txid {txid} neither "
+                        f"delivered nor dead-lettered (watermark {mark}, "
+                        f"floor {floor})")
     return violations

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Optional
 
 __all__ = ["FaaSKeeperConfig", "UserStoreKind"]
 
@@ -92,6 +93,35 @@ class FaaSKeeperConfig:
     #: the chaos suite runs with 2 so a crashed fan-out re-delivers
     #: (duplicate deliveries are deduplicated client-side by instance id).
     free_fn_retries: int = 0
+    #: Transactional-outbox event streaming: when enabled the leader
+    #: appends one event record per committed transaction to a system
+    #: outbox table *in the same conditional ``transact_update``* as the
+    #: commit log (so a committed change and its outgoing event are
+    #: atomic), and a publisher function drains the outbox to the
+    #: configured sinks with at-least-once delivery and per-path txid
+    #: order.  ``None`` (the default) means off — unless the
+    #: ``FK_FORCE_OUTBOX=1`` environment override is set (the CI matrix
+    #: leg that runs the whole suite with the outbox on); pass an explicit
+    #: ``False`` to pin it off regardless.  Requires
+    #: ``commit_log_enabled`` (the outbox rides the log's transaction);
+    #: the env override enables the commit log too.
+    outbox_enabled: Optional[bool] = None
+    #: Event sinks the publisher fans out to: specs understood by
+    #: :func:`repro.faaskeeper.outbox.make_sink` (``"inproc"``,
+    #: ``"file:<path>"``, ``"webhook:<url>"``, a ``(scheme, kwargs)``
+    #: pair, or a ready :class:`~repro.faaskeeper.outbox.Sink` instance).
+    outbox_sinks: List[Any] = field(default_factory=lambda: ["inproc"])
+    #: Maximum outbox records one publisher pass drains.
+    outbox_batch: int = 25
+    #: Period of the scheduled publisher function (suspended at
+    #: scale-to-zero, like the heartbeat).  0 = manual drains only, via
+    #: ``service.outbox.drain()``.
+    outbox_publish_ms: float = 1_000.0
+    #: Per-sink delivery attempts before an event is dead-lettered.
+    outbox_max_attempts: int = 3
+    #: Base of the publisher's exponential retry backoff (ms): attempt
+    #: ``n`` waits ``outbox_retry_base_ms * 2**(n-1)``.
+    outbox_retry_base_ms: float = 50.0
     #: Client-side read cache: maximum cached node images per session.
     #: 0 (the default) disables the cache entirely, so the paper's read
     #: pipeline — every get_data/get_children is a user-store round trip —
@@ -136,6 +166,34 @@ class FaaSKeeperConfig:
         if self.free_fn_retries < 0:
             raise ValueError(
                 f"free_fn_retries must be >= 0, got {self.free_fn_retries}")
+        if self.outbox_enabled is None:
+            # CI override: one matrix leg runs the whole tier-1 suite with
+            # the outbox (and therefore the commit log) on.  Explicit
+            # outbox_enabled=False pins a deployment off regardless — the
+            # escape hatch the bit-for-bit fingerprint gates use.
+            forced = os.environ.get("FK_FORCE_OUTBOX", "") == "1"
+            self.outbox_enabled = forced
+            if forced:
+                self.commit_log_enabled = True
+        if self.outbox_enabled and not self.commit_log_enabled:
+            raise ValueError(
+                "outbox_enabled=True requires commit_log_enabled=True: the "
+                "outbox record rides the commit log's storage transaction")
+        if self.outbox_batch < 1:
+            raise ValueError(
+                f"outbox_batch must be >= 1, got {self.outbox_batch}")
+        if self.outbox_publish_ms < 0:
+            raise ValueError(
+                f"outbox_publish_ms must be >= 0, got {self.outbox_publish_ms}")
+        if self.outbox_max_attempts < 1:
+            raise ValueError(
+                f"outbox_max_attempts must be >= 1, got {self.outbox_max_attempts}")
+        if self.outbox_retry_base_ms < 0:
+            raise ValueError(
+                f"outbox_retry_base_ms must be >= 0, "
+                f"got {self.outbox_retry_base_ms}")
+        if self.outbox_enabled and not self.outbox_sinks:
+            raise ValueError("outbox_enabled=True needs at least one sink")
 
     @property
     def client_cache_enabled(self) -> bool:

@@ -222,8 +222,22 @@ class DistributorLogic:
         #: cross-batch generalization of the leader's in-batch coalescing
         #: (also makes redeliveries idempotent).
         self._last_written: Dict[str, int] = {}
-        self.coalesced_writes = 0
-        self.batches = 0
+        self._batches = service.metrics.counter(
+            "fk_distributor_batches_total",
+            "Distribution batches drained", ("region",)).labels(region=region)
+        self._coalesced = service.metrics.counter(
+            "fk_distributor_coalesced_writes_total",
+            "User-store writes skipped as superseded",
+            ("region",)).labels(region=region)
+
+    # Pre-metrics attribute API (read-only over the registry).
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def coalesced_writes(self) -> int:
+        return int(self._coalesced.value)
 
     def cold_restart(self) -> None:
         """Drop warm-sandbox state after a crash (chaos harness hook): the
@@ -238,7 +252,7 @@ class DistributorLogic:
         env = fctx.env
         stage = self.service.distribution
         fctx.crash_point("dist_entry")
-        self.batches += 1
+        self._batches.inc()
         if not self._epoch_loaded:
             # Cold-start hydration of the shared epoch mirror, exactly like
             # a leader sandbox.
@@ -306,14 +320,14 @@ class DistributorLogic:
                 entry = (image, is_parent, op, rec["txid"])
                 if not is_parent:
                     # Drop every older write to the path.
-                    self.coalesced_writes += len(entries)
+                    self._coalesced.inc(len(entries))
                     plan[path] = [entry]
                 else:
                     # Metadata update: replaces an older trailing metadata
                     # update, rides behind a surviving node image.
                     if entries and entries[-1][1]:
                         entries[-1] = entry
-                        self.coalesced_writes += 1
+                        self._coalesced.inc()
                     else:
                         entries.append(entry)
         return plan
@@ -325,7 +339,7 @@ class DistributorLogic:
             if self._last_written.get(path, 0) >= txid:
                 # A newer write already landed (redelivered batch, or a
                 # record that was superseded across batches).
-                self.coalesced_writes += 1
+                self._coalesced.inc()
                 continue
             yield from write_user_image(self.service.user_store, fctx,
                                         self.region, path, image, epoch,

@@ -297,7 +297,7 @@ class FollowerLogic:
                 # Routing always uses the shard recomputed from the final
                 # path; a disagreeing client hint means a stale partition
                 # map (or a sequence suffix remapping a top-level create).
-                self.service.shard_hint_mismatches += 1
+                self.service.record_shard_hint_mismatch()
         txid = yield from self.service.leader_queue_for(final_path).send(
             fctx.ctx, msg, group="updates", size_kb=req.size_kb)
         fctx.record("push", env.now - t0)
@@ -493,7 +493,7 @@ class FollowerLogic:
             leader_msg["fence"] = board.issue(req.session)
             leader_msg["shard"] = shard
             if req.shard_hint is not None and req.shard_hint != shard:
-                self.service.shard_hint_mismatches += 1
+                self.service.record_shard_hint_mismatch()
         txid = yield from self.service.leader_queues[shard].send(
             fctx.ctx, leader_msg, group="updates", size_kb=req.size_kb)
         fctx.record("push", env.now - t0)

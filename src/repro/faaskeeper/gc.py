@@ -37,9 +37,22 @@ class GarbageCollectorLogic:
 
     def __init__(self, service) -> None:
         self.service = service
-        self.collected_tombstones = 0
-        self.collected_phantoms = 0
-        self.collected_watches = 0
+        self._collected = service.metrics.counter(
+            "fk_gc_collected_total",
+            "Items reclaimed by the GC sweep", ("kind",))
+
+    # Pre-metrics attribute API (read-only over the registry).
+    @property
+    def collected_tombstones(self) -> int:
+        return int(self._collected.labels(kind="tombstone").value)
+
+    @property
+    def collected_phantoms(self) -> int:
+        return int(self._collected.labels(kind="phantom").value)
+
+    @property
+    def collected_watches(self) -> int:
+        return int(self._collected.labels(kind="watch").value)
 
     def handler(self, fctx, payload: Any) -> Generator:
         yield from self._sweep_nodes(fctx)
@@ -84,9 +97,9 @@ class GarbageCollectorLogic:
             except ConditionFailed:
                 continue  # resurrected concurrently: leave it alone
             if is_tombstone:
-                self.collected_tombstones += 1
+                self._collected.labels(kind="tombstone").inc()
             else:
-                self.collected_phantoms += 1
+                self._collected.labels(kind="phantom").inc()
         return None
 
     @staticmethod
@@ -116,5 +129,5 @@ class GarbageCollectorLogic:
                     fctx.ctx, path, wtype, inst.get("id"),
                     inst.get("sessions", []))
                 if removed:
-                    self.collected_watches += 1
+                    self._collected.labels(kind="watch").inc()
         return None

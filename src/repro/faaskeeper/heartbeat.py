@@ -33,7 +33,18 @@ class HeartbeatLogic:
 
     def __init__(self, service) -> None:
         self.service = service
-        self.evictions = 0
+        self._sweeps = service.metrics.counter(
+            "fk_heartbeat_sweeps_total", "Heartbeat scan/ping rounds")
+        self._checked = service.metrics.counter(
+            "fk_heartbeat_sessions_checked_total", "Sessions pinged")
+        self._evictions = service.metrics.counter(
+            "fk_heartbeat_evictions_total",
+            "Sessions evicted for missing the ping deadline")
+
+    @property
+    def evictions(self) -> int:
+        """Pre-metrics attribute API (read-only over the registry)."""
+        return int(self._evictions.value)
 
     def handler(self, fctx, payload: Any) -> Generator:
         env = fctx.env
@@ -62,8 +73,10 @@ class HeartbeatLogic:
             results = {sid: bool(ping.value) for sid, ping in pings.items()}
         fctx.record("ping", env.now - t0)
 
+        self._sweeps.inc()
+        self._checked.inc(len(to_check))
         expired = [sid for sid in to_check if not results.get(sid, False)]
         for sid in expired:
-            self.evictions += 1
+            self._evictions.inc()
             yield from self.service.enqueue_eviction(fctx.ctx, sid)
         return {"checked": len(to_check), "evicted": len(expired)}

@@ -49,6 +49,7 @@ __all__ = [
     "SYSTEM_WATCHES",
     "SYSTEM_LOG",
     "SYSTEM_SNAPSHOT",
+    "SYSTEM_OUTBOX",
     "USER_TABLE",
     "USER_BUCKET",
     "epoch_key",
@@ -56,6 +57,9 @@ __all__ = [
     "log_key",
     "LOG_HEAD_KEY",
     "SNAPSHOT_META_KEY",
+    "OUTBOX_PUBLISHED_KEY",
+    "OUTBOX_DEAD_LETTER_KEY",
+    "SNAPSHOT_SYS_PREFIX",
     "new_system_node",
     "user_image_from_system",
     "top_component",
@@ -72,6 +76,11 @@ SYSTEM_LOG = "fk-system-log"
 #: Snapshot table (fuzzy checkpoint of the log): key = path, value =
 #: the newest folded user image and the txid that produced it.
 SYSTEM_SNAPSHOT = "fk-system-snapshot"
+#: Transactional outbox (``outbox_enabled``): one event record per
+#: committed transaction, key = zero-padded txid, written in the *same*
+#: storage transaction as the commit-log append so a committed change and
+#: its outgoing event are atomic (the transactional-outbox pattern).
+SYSTEM_OUTBOX = "fk-system-outbox"
 USER_TABLE = "fk-user-nodes"
 USER_BUCKET = "fk-user-data"
 
@@ -85,6 +94,18 @@ LOG_HEAD_KEY = "log:head"
 #: into the snapshot table), the fold generation, and the newest txid
 #: compaction has truncated the log to.
 SNAPSHOT_META_KEY = "snapshot:meta"
+#: System-state key of the outbox publisher's durable progress item
+#: ``{"txid"}``: every outbox record at or below it has been delivered to
+#: (or dead-lettered at) every configured sink.  Advanced *after* sink
+#: delivery, so a publisher crash re-delivers — at-least-once.
+OUTBOX_PUBLISHED_KEY = "outbox:published"
+#: System-state key of the durable dead-letter list ``{"items": [...]}``:
+#: events a sink definitively rejected after the retry budget.
+OUTBOX_DEAD_LETTER_KEY = "outbox:dead-letter"
+#: Key prefix of system-table checkpoints inside ``SYSTEM_SNAPSHOT``
+#: (watch instances, session records).  Znode paths always start with
+#: ``/``, so the prefix can never collide with a folded node image.
+SNAPSHOT_SYS_PREFIX = "sys:"
 
 
 def log_key(txid: int) -> str:

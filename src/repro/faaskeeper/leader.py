@@ -341,7 +341,8 @@ class LeaderLogic:
             yield from self.service.snapshots.append_log(
                 fctx, txid, self.shard,
                 [(p, image, is_parent, msg["op"])
-                 for p, image, is_parent in affected])
+                 for p, image, is_parent in affected],
+                session=msg.get("session"))
             fctx.crash_point("leader_after_log")
 
         # Sharded: a parent may be written by several shard leaders (the
@@ -578,7 +579,8 @@ class LeaderLogic:
         # Durable commit log (one record for the whole atomic batch).
         if self.service.snapshots is not None:
             yield from self.service.snapshots.append_log(
-                fctx, txid, self.shard, list(affected))
+                fctx, txid, self.shard, list(affected),
+                session=msg.get("session"))
             fctx.crash_point("leader_after_log")
 
         # A cross-shard multi rides the coordinator's queue, but other

@@ -1,0 +1,472 @@
+"""Transactional-outbox event streaming with pluggable sinks.
+
+Watch delivery ends at connected clients; production coordination
+services additionally stream every committed change to *external*
+consumers — change-data-capture pipelines, audit logs, cross-system
+replication.  Bolting that on out-of-band (read the store, diff, emit)
+is lossy: an event emitted before the commit can describe a change that
+never happened, one emitted after can be lost with the emitter.  The
+transactional-outbox pattern closes the gap:
+
+* **append** — the leader writes one *event record* per committed
+  transaction (path, op type, txid, session, commit timestamp) to the
+  ``SYSTEM_OUTBOX`` table **in the same conditional ``transact_update``
+  as the commit-log append** (:meth:`SnapshotManager.append_log`): the
+  state change, its log record and its outgoing event commit atomically,
+  and the log-head condition that deduplicates redelivered leader
+  batches deduplicates the outbox append for free;
+
+* **publish** — a scheduled publisher function drains the outbox in
+  global txid order up to the *publish floor* (``min`` over shards of
+  the commit-log head watermarks — below the floor every committed txid
+  provably has its record, so order is gapless; the same conservative
+  floor the snapshot fold uses).  Per-path order follows from global
+  txid order.  Each record is delivered to every configured sink with
+  exponential-backoff retry; a sink that still fails after
+  ``outbox_max_attempts`` gets the event *dead-lettered* (durable list +
+  in-memory mirror) and the drain moves on.  The durable
+  ``outbox:published`` watermark advances only **after** a record's
+  sinks are settled, so a publisher crash re-delivers — at-least-once,
+  with duplicates deduplicated downstream by ``(txid, path)``;
+
+* **sinks** — pluggable behind a small registry
+  (:func:`register_sink` / :func:`make_sink`): :class:`InProcSink`
+  (in-memory list — tests, recipes), :class:`FileSink` (JSON-lines CDC
+  feed), :class:`WebhookSink` (HTTP POST per record via an injectable
+  transport; :class:`FakeHttp` is the test double).  Every sink keeps an
+  in-memory ``delivered`` mirror so the chaos audit can assert
+  no-lost / no-duplicated-beyond-redelivery without trusting the sink's
+  own side effects.
+
+Everything is gated on ``outbox_enabled`` (default off): a default
+deployment creates no outbox table, deploys no publisher and keeps its
+CI-gated write fingerprint bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..cloud.errors import ConditionFailed
+from ..cloud.expressions import Attr, ListAppend, Set, item_exists
+from .layout import (
+    OUTBOX_DEAD_LETTER_KEY,
+    OUTBOX_PUBLISHED_KEY,
+    SYSTEM_OUTBOX,
+    SYSTEM_STATE,
+    log_key,
+)
+
+__all__ = ["OutboxStage", "OutboxPublisherLogic", "Sink", "InProcSink",
+           "FileSink", "WebhookSink", "FakeHttp", "register_sink",
+           "make_sink", "SINK_SCHEMES"]
+
+
+# --------------------------------------------------------------------------
+# Sinks
+# --------------------------------------------------------------------------
+
+class Sink:
+    """One event consumer.  Subclasses implement :meth:`_emit`; the base
+    class keeps the in-memory ``delivered`` mirror every audit relies on
+    (appended only after ``_emit`` succeeded, so the mirror never claims
+    a delivery the sink rejected)."""
+
+    kind = "sink"
+
+    def __init__(self) -> None:
+        #: Audit mirror: every successfully delivered event dict, in
+        #: delivery order (duplicates included — at-least-once).
+        self.delivered: List[Dict[str, Any]] = []
+        #: Metrics/registry label; the stage uniquifies duplicates.
+        self.label = self.kind
+
+    def deliver(self, fctx, events: List[Dict[str, Any]]) -> Generator:
+        """Deliver one record's events (raises on failure; the publisher
+        owns retry and dead-letter policy)."""
+        yield from self._emit(fctx, events)
+        self.delivered.extend(dict(ev) for ev in events)
+        return None
+
+    def _emit(self, fctx, events: List[Dict[str, Any]]) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------ audit
+    def delivered_txids(self) -> List[int]:
+        return [ev["txid"] for ev in self.delivered]
+
+
+SINK_SCHEMES: Dict[str, Callable[..., Sink]] = {}
+
+
+def register_sink(scheme: str):
+    """Register a sink class under a URI-ish scheme (``inproc``,
+    ``file``, ``webhook``, ...); :func:`make_sink` resolves specs
+    through this table, so deployments can plug in new sink kinds
+    without touching the publisher."""
+    def wrap(cls):
+        cls.kind = scheme
+        SINK_SCHEMES[scheme] = cls
+        return cls
+    return wrap
+
+
+def make_sink(spec: Any) -> Sink:
+    """Build a sink from a config spec: a ready :class:`Sink` instance,
+    a ``(scheme, kwargs)`` pair, or a string ``"scheme"`` /
+    ``"scheme:argument"`` (the argument is the file path or URL)."""
+    if isinstance(spec, Sink):
+        return spec
+    if isinstance(spec, tuple) and len(spec) == 2:
+        scheme, kwargs = spec
+        try:
+            factory = SINK_SCHEMES[scheme]
+        except KeyError:
+            raise ValueError(f"unknown sink scheme {scheme!r}") from None
+        return factory(**dict(kwargs))
+    if isinstance(spec, str):
+        scheme, _, arg = spec.partition(":")
+        try:
+            factory = SINK_SCHEMES[scheme]
+        except KeyError:
+            raise ValueError(f"unknown sink scheme {scheme!r}") from None
+        return factory(arg) if arg else factory()
+    raise ValueError(f"cannot build a sink from {spec!r}")
+
+
+@register_sink("inproc")
+class InProcSink(Sink):
+    """In-process consumer: events land on :attr:`delivered` (and an
+    optional callback) — the zero-infrastructure sink tests and
+    same-process consumers use."""
+
+    def __init__(self, callback: Optional[Callable[[Dict[str, Any]], None]] = None) -> None:
+        super().__init__()
+        self.callback = callback
+
+    def _emit(self, fctx, events: List[Dict[str, Any]]) -> Generator:
+        if self.callback is not None:
+            for ev in events:
+                self.callback(dict(ev))
+        return None
+        yield  # pragma: no cover
+
+
+@register_sink("file")
+class FileSink(Sink):
+    """JSON-lines change-data-capture feed: one line per event, appended
+    per delivered record (the ``examples/change_data_capture.py`` sink)."""
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        if not path:
+            raise ValueError("file sink needs a path ('file:<path>')")
+        self.path = path
+
+    def _emit(self, fctx, events: List[Dict[str, Any]]) -> Generator:
+        # Serialization cost scales with the event batch (pure compute —
+        # the file itself is outside the simulated cloud).
+        yield fctx.compute(base_ms=0.1, payload_kb=0.1 * len(events))
+        with open(self.path, "a", encoding="utf-8") as fh:
+            for ev in events:
+                fh.write(json.dumps(ev, sort_keys=True) + "\n")
+        return None
+
+
+@register_sink("webhook")
+class WebhookSink(Sink):
+    """HTTP POST per record.  The transport is injected
+    (``transport(url, payload) -> status code``; raise or return >= 300
+    to fail the delivery) — the simulation never opens sockets, and the
+    :class:`FakeHttp` double drives the retry/dead-letter tests."""
+
+    def __init__(self, url: str,
+                 transport: Optional[Callable[[str, Dict[str, Any]], int]] = None) -> None:
+        super().__init__()
+        if not url:
+            raise ValueError("webhook sink needs a URL ('webhook:<url>')")
+        self.url = url
+        self.transport = transport
+
+    def _emit(self, fctx, events: List[Dict[str, Any]]) -> Generator:
+        yield fctx.compute(base_ms=0.2, payload_kb=0.1 * len(events))
+        if self.transport is None:
+            raise RuntimeError(
+                f"webhook sink {self.url}: no HTTP transport configured")
+        status = self.transport(self.url, {"events": [dict(e) for e in events]})
+        if status >= 300:
+            raise RuntimeError(f"webhook sink {self.url}: HTTP {status}")
+        return None
+
+
+class FakeHttp:
+    """Programmable fake HTTP transport for :class:`WebhookSink`:
+    fails the first ``fail_times`` calls (with ``status``), then
+    succeeds; records every request."""
+
+    def __init__(self, fail_times: int = 0, status: int = 503) -> None:
+        self.fail_times = fail_times
+        self.status = status
+        self.requests: List[Tuple[str, Dict[str, Any]]] = []
+
+    def __call__(self, url: str, payload: Dict[str, Any]) -> int:
+        self.requests.append((url, payload))
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            return self.status
+        return 200
+
+
+# --------------------------------------------------------------------------
+# Publisher
+# --------------------------------------------------------------------------
+
+class OutboxPublisherLogic:
+    """Behaviour of the ``fk-outbox`` publisher function.
+
+    Stateless by design: progress (the published watermark), the input
+    (outbox records) and the failure record (dead-letter list) are all
+    durable, so a crashed drain resumes from storage — the property the
+    ``outbox_*`` chaos points exercise.
+    """
+
+    def __init__(self, stage: "OutboxStage") -> None:
+        self.stage = stage
+        self.service = stage.service
+
+    def cold_restart(self) -> None:
+        """Chaos-harness hook (sandbox loss).  The publisher keeps no
+        warm state — everything it needs is durable — so a cold restart
+        only needs to exist, not to do anything."""
+
+    # ------------------------------------------------------------ handler
+    def handler(self, fctx, payload: Any) -> Generator:
+        """One drain pass: publish eligible records in txid order, then
+        garbage-collect records below the already-published watermark."""
+        env = fctx.env
+        stage = self.stage
+        store = self.service.system_store
+        metrics = stage.metrics
+        fctx.crash_point("outbox_entry")
+        metrics["drains"].inc()
+
+        t0 = env.now
+        mark_item = yield from store.get_item(
+            fctx.ctx, SYSTEM_STATE, OUTBOX_PUBLISHED_KEY)
+        mark = int((mark_item or {}).get("txid", 0))
+        floor = yield from stage.publish_floor(fctx.ctx)
+        records = yield from store.scan(fctx.ctx, SYSTEM_OUTBOX)
+        fctx.record("outbox_scan", env.now - t0)
+
+        eligible = sorted(
+            (rec for rec in records.values() if mark < rec["txid"] <= floor),
+            key=lambda rec: rec["txid"])
+        metrics["backlog"].set(len(eligible))
+        published = 0
+        for rec in eligible[:self.service.config.outbox_batch]:
+            fctx.crash_point("outbox_mid_drain")
+            yield from self._publish_record(fctx, rec)
+            fctx.crash_point("outbox_after_sink")
+            # The watermark advances only after every sink settled this
+            # record: a crash above re-delivers it (at-least-once).
+            try:
+                yield from store.update_item(
+                    fctx.ctx, SYSTEM_STATE, OUTBOX_PUBLISHED_KEY,
+                    updates=[Set("txid", rec["txid"])],
+                    condition=Attr("txid").not_exists()
+                    | (Attr("txid") < rec["txid"]),
+                    payload_kb=0.032)
+            except ConditionFailed:  # pragma: no cover - concurrent drain
+                pass
+            metrics["published_txid"].set(rec["txid"])
+            metrics["lag"].observe(env.now - rec.get("ts", env.now))
+            published += 1
+
+        # Retention: records at or below the watermark *as of this pass's
+        # start* were fully published by an earlier drain — drop them.
+        # (Records published in this pass survive one period, keeping the
+        # delete after the watermark write — crash-safe in either order.)
+        for rec in sorted(records.values(), key=lambda r: r["txid"]):
+            if rec["txid"] > mark:
+                break
+            try:
+                yield from store.delete_item(
+                    fctx.ctx, SYSTEM_OUTBOX, log_key(rec["txid"]),
+                    condition=item_exists())
+                metrics["compacted"].inc()
+            except ConditionFailed:  # pragma: no cover - concurrent drain
+                pass
+        return {"published": published, "floor": floor,
+                "backlog": len(eligible) - published}
+
+    def _publish_record(self, fctx, rec: Dict[str, Any]) -> Generator:
+        """Deliver one record to every sink: exponential-backoff retry,
+        dead-letter on a sink that keeps failing."""
+        env = fctx.env
+        config = self.service.config
+        metrics = self.stage.metrics
+        events = [
+            {"txid": rec["txid"], "path": path, "op": op,
+             "session": rec.get("session"), "ts": rec.get("ts", 0.0),
+             "shard": rec.get("shard", 0)}
+            for path, op in rec["events"]
+        ]
+        t0 = env.now
+        for label, sink in self.stage.sinks:
+            delivered = False
+            last_error: Optional[BaseException] = None
+            for attempt in range(1, config.outbox_max_attempts + 1):
+                try:
+                    yield from sink.deliver(fctx, events)
+                    delivered = True
+                    break
+                except Exception as exc:
+                    last_error = exc
+                    metrics["retries"].labels(sink=label).inc()
+                    backoff = config.outbox_retry_base_ms * (2 ** (attempt - 1))
+                    if attempt < config.outbox_max_attempts and backoff > 0:
+                        yield env.timeout(backoff)
+            if delivered:
+                metrics["published"].labels(sink=label).inc(len(events))
+            else:
+                yield from self._dead_letter(fctx, label, rec, last_error)
+        fctx.record("outbox_publish", env.now - t0)
+        return None
+
+    def _dead_letter(self, fctx, sink_label: str, rec: Dict[str, Any],
+                     error: Optional[BaseException]) -> Generator:
+        """A sink exhausted its retry budget: park the record durably so
+        no event is silently dropped (the operator replays from here)."""
+        entry = {"txid": rec["txid"], "sink": sink_label,
+                 "events": [list(ev) for ev in rec["events"]],
+                 "error": repr(error) if error else "unknown"}
+        yield from self.service.system_store.update_item(
+            fctx.ctx, SYSTEM_STATE, OUTBOX_DEAD_LETTER_KEY,
+            updates=[ListAppend("items", [entry])],
+            payload_kb=0.2)
+        self.stage.dead_letters.append(entry)
+        self.stage.metrics["dead_letters"].labels(sink=sink_label).inc()
+        return None
+
+
+# --------------------------------------------------------------------------
+# Stage wiring
+# --------------------------------------------------------------------------
+
+class OutboxStage:
+    """Deployment-side wiring of the outbox: table, sinks, publisher
+    function (``service.outbox``; None unless ``outbox_enabled``)."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        config = service.config
+        service.system_store.create_table(SYSTEM_OUTBOX)
+
+        # Sinks, with uniquified metric labels (two file sinks become
+        # ``file`` and ``file-2``).
+        self.sinks: List[Tuple[str, Sink]] = []
+        seen: Dict[str, int] = {}
+        for spec in config.outbox_sinks:
+            sink = make_sink(spec)
+            n = seen.get(sink.kind, 0) + 1
+            seen[sink.kind] = n
+            label = sink.kind if n == 1 else f"{sink.kind}-{n}"
+            sink.label = label
+            self.sinks.append((label, sink))
+
+        #: In-memory mirror of the durable dead-letter list.
+        self.dead_letters: List[Dict[str, Any]] = []
+
+        registry = service.metrics
+        self.metrics = {
+            "appended": registry.counter(
+                "fk_outbox_appended_total",
+                "Event records appended to the outbox (with the commit)"),
+            "drains": registry.counter(
+                "fk_outbox_drains_total", "Publisher drain passes"),
+            "published": registry.counter(
+                "fk_outbox_events_published_total",
+                "Events delivered per sink (duplicates counted)", ("sink",)),
+            "retries": registry.counter(
+                "fk_outbox_retries_total",
+                "Failed sink delivery attempts that were retried", ("sink",)),
+            "dead_letters": registry.counter(
+                "fk_outbox_dead_letters_total",
+                "Records dead-lettered per sink", ("sink",)),
+            "compacted": registry.counter(
+                "fk_outbox_records_compacted_total",
+                "Published outbox records garbage-collected"),
+            "published_txid": registry.gauge(
+                "fk_outbox_published_txid",
+                "Durable publish watermark (newest fully published txid)"),
+            "backlog": registry.gauge(
+                "fk_outbox_backlog",
+                "Eligible-but-unpublished records at the last drain"),
+            "lag": registry.histogram(
+                "fk_outbox_publish_lag_ms",
+                "Commit-to-sink publish lag per record (ms)"),
+        }
+
+        self.publisher = OutboxPublisherLogic(self)
+        self.fn = service.cloud.deploy_function(
+            "fk-outbox", self.publisher.handler,
+            memory_mb=config.function_memory_mb, arch=config.arch,
+            cpu_alloc=config.cpu_alloc, region=config.primary_region)
+
+    # ------------------------------------------------------------ append
+    def append_ops(self, env_now: float, txid: int, shard: int, session: str,
+                   writes: List[Tuple[str, Optional[Dict[str, Any]], bool, str]]
+                   ) -> List[tuple]:
+        """The outbox leg of the leader's commit-log ``transact_update``:
+        one event per *node* write (parent metadata updates are an
+        implementation detail, not a user-visible change).  Returns []
+        when nothing user-visible happened, so the log transaction stays
+        unchanged for pure-metadata records."""
+        events = [[path, op] for path, _image, is_parent, op in writes
+                  if not is_parent]
+        if not events:
+            return []
+        record = {"txid": txid, "shard": shard, "session": session,
+                  "ts": env_now, "events": events}
+        return [(SYSTEM_OUTBOX, log_key(txid),
+                 [Set(k, v) for k, v in record.items()], None)]
+
+    # ------------------------------------------------------------ floors
+    def publish_floor(self, ctx) -> Generator[Any, Any, int]:
+        """Newest txid safe to publish: ``min`` over shards of the
+        commit-log heads.  Below it every committed txid has its outbox
+        record (same storage transaction), so draining in txid order is
+        gapless — which is what makes per-path order a corollary of
+        global order, cross-shard multis included."""
+        heads = yield from self.service.snapshots._log_heads(ctx)
+        return self.service.snapshots._floor_from_heads(heads)
+
+    # ------------------------------------------------------------ helpers
+    def drain(self) -> Dict[str, Any]:
+        """Synchronous manual drain (tests, examples): one publisher
+        invocation, run to completion."""
+        done = self.service.cloud.runtime.invoke_direct(self.fn, None)
+        return self.service.cloud.env.run(until=done)
+
+    def sink(self, label_or_index: Any = 0) -> Sink:
+        """Look up a configured sink by metric label or position."""
+        if isinstance(label_or_index, int):
+            return self.sinks[label_or_index][1]
+        for label, sink in self.sinks:
+            if label == label_or_index:
+                return sink
+        raise KeyError(label_or_index)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "appended": self.metrics["appended"].value,
+            "drains": self.metrics["drains"].value,
+            "published": sum(c.value for _lv, c in
+                             self.metrics["published"].items()),
+            "retries": sum(c.value for _lv, c in
+                           self.metrics["retries"].items()),
+            "dead_letters": float(len(self.dead_letters)),
+            "published_txid": self.metrics["published_txid"].value,
+        }

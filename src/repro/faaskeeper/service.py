@@ -49,7 +49,9 @@ from .layout import (
     user_image_from_system,
 )
 from .leader import LeaderLogic
+from .metrics import MetricsRegistry
 from .model import KeeperState, Response, WatchedEvent
+from .outbox import OutboxStage
 from .snapshot import SnapshotManager
 from .watch_fn import WatchFanoutLogic
 from .watches import EpochLedger, WatchRegistry
@@ -122,6 +124,12 @@ class FaaSKeeperService:
         self.config = config
         self.rng = cloud.rng.stream("faaskeeper")
         self.system_ctx = OpContext(region=config.primary_region)
+        #: The deployment's metric namespace.  Created first: every stage
+        #: logic below registers its counters here.  Metrics are pure
+        #: Python bookkeeping (no simulated latency, RNG draws or billed
+        #: traffic), so the registry rides inside the bit-for-bit-gated
+        #: default deployment.
+        self.metrics = MetricsRegistry()
 
         # --- system storage -------------------------------------------------
         self.system_store = cloud.kv("dynamodb:system", region=config.primary_region)
@@ -185,7 +193,9 @@ class FaaSKeeperService:
         #: Writes whose client-stamped shard hint disagreed with the shard
         #: recomputed from the final path (stale client partition map, or a
         #: sequence suffix remapping a top-level create).
-        self.shard_hint_mismatches = 0
+        self._shard_hint_mismatches = self.metrics.counter(
+            "fk_shard_hint_mismatches_total",
+            "Writes whose client shard hint disagreed with the final path")
 
         # --- distributor stage (None = the paper's inline pipeline) ----------
         self.distribution: Optional[DistributionStage] = (
@@ -209,6 +219,15 @@ class FaaSKeeperService:
                     self.snapshot_fn, period_ms=config.snapshot_auto_ms)
                 self.snapshot_task.stop()  # scale-to-zero, like the heartbeat
 
+        # --- transactional outbox (opt-in event streaming) --------------------
+        self.outbox: Optional[OutboxStage] = (
+            OutboxStage(self) if config.outbox_enabled else None)
+        self.outbox_task = None
+        if self.outbox is not None and config.outbox_publish_ms > 0:
+            self.outbox_task = cloud.runtime.schedule(
+                self.outbox.fn, period_ms=config.outbox_publish_ms)
+            self.outbox_task.stop()  # scale-to-zero, like the heartbeat
+
         self.heartbeat_task = cloud.runtime.schedule(
             self.heartbeat_fn, period_ms=config.heartbeat_period_ms)
         self.heartbeat_task.stop()  # scale-to-zero until a client connects
@@ -221,6 +240,7 @@ class FaaSKeeperService:
         self.clients: Dict[str, FaaSKeeperClient] = {}
         self._session_queues: Dict[str, Any] = {}
 
+        self._wire_metrics()
         self._bootstrap_root()
 
     # ------------------------------------------------------------ deployment
@@ -258,6 +278,14 @@ class FaaSKeeperService:
             client._deliver_response(Response(
                 session=body["session"], rid=body["rid"], ok=False,
                 error="system_failure"))
+
+    @property
+    def shard_hint_mismatches(self) -> int:
+        """Pre-metrics attribute API (read-only over the registry)."""
+        return int(self._shard_hint_mismatches.value)
+
+    def record_shard_hint_mismatch(self) -> None:
+        self._shard_hint_mismatches.inc()
 
     @property
     def visibility_board(self):
@@ -329,6 +357,8 @@ class FaaSKeeperService:
             self.gc_task.start()
             if self.snapshot_task is not None:
                 self.snapshot_task.start()
+            if self.outbox_task is not None:
+                self.outbox_task.start()
         return client
 
     def on_session_closed(self, session_id: str, evicted: bool = False) -> None:
@@ -345,6 +375,8 @@ class FaaSKeeperService:
             self.gc_task.stop()
             if self.snapshot_task is not None:
                 self.snapshot_task.stop()
+            if self.outbox_task is not None:
+                self.outbox_task.stop()
 
     # ------------------------------------------------------------ notification
     def notify_response(self, response: Response) -> Generator:
@@ -438,6 +470,98 @@ class FaaSKeeperService:
         }, group=session_id, size_kb=0.1)
         return None
 
+    # ------------------------------------------------------------ metrics
+    #: ``cost_breakdown()`` categories, in their historical order; each is
+    #: a ``fk_cost_dollars`` gauge computed from the cost meter.
+    _COST_CATEGORIES = ("queue", "system_store", "user_store", "s3",
+                        "dynamodb", "follower", "leader", "distributor",
+                        "watch", "heartbeat")
+    _CACHE_STATS = ("hits", "misses", "invalidations", "evictions",
+                    "entries", "size_kb")
+
+    def _wire_metrics(self) -> None:
+        """Attach the registry to everything that already keeps numbers
+        elsewhere: per-stage timing probes (via the runtime's
+        ``on_segment`` hook), function lifecycle counts, client-cache
+        stats, session count and the cost meter — the latter as callback
+        gauges sampled at read time, the same device as a Prometheus
+        collector, so there is no double bookkeeping."""
+        m = self.metrics
+        functions = [self.follower_fn, *self.leader_fns, self.watch_fn,
+                     self.heartbeat_fn, self.gc_fn]
+        if self.snapshot_fn is not None:
+            functions.append(self.snapshot_fn)
+        if self.distribution is not None:
+            functions.extend(self.distribution.fns.values())
+        if self.outbox is not None:
+            functions.append(self.outbox.fn)
+
+        segments = m.histogram(
+            "fk_stage_segment_ms",
+            "Timing probes recorded by pipeline stages (Figure 10/Table 3)",
+            ("fn", "segment"))
+        invocations = m.gauge("fk_fn_invocations",
+                              "Function invocations", ("fn",))
+        cold_starts = m.gauge("fk_fn_cold_starts",
+                              "Function cold starts", ("fn",))
+        failures = m.gauge("fk_fn_failures",
+                           "Function invocations that died", ("fn",))
+        for fn in functions:
+            name = fn.spec.name
+            fn.on_segment = (
+                lambda seg, ms, _n=name:
+                segments.labels(fn=_n, segment=seg).observe(ms))
+            invocations.labels(fn=name).set_function(
+                lambda _f=fn: float(_f.invocations))
+            cold_starts.labels(fn=name).set_function(
+                lambda _f=fn: float(_f.cold_starts))
+            failures.labels(fn=name).set_function(
+                lambda _f=fn: float(_f.failures))
+
+        m.gauge("fk_sessions_active", "Open client sessions").set_function(
+            lambda: float(self.active_sessions))
+        cache = m.gauge("fk_client_cache",
+                        "Aggregated client read-cache counters", ("stat",))
+        for stat in self._CACHE_STATS:
+            cache.labels(stat=stat).set_function(
+                lambda _s=stat: self.client_cache_stats()[_s])
+
+        by = self.cloud.meter.by_service
+        cost = m.gauge("fk_cost_dollars",
+                       "Metered dollars by cost category (Figures 9/11)",
+                       ("category",))
+        cost.labels(category="queue").set_function(
+            lambda: sum(v for k, v in by().items() if k.startswith("sqs")))
+        cost.labels(category="system_store").set_function(
+            lambda: by().get("dynamodb:system", 0.0))
+        cost.labels(category="user_store").set_function(
+            lambda: by().get("dynamodb:user", 0.0) + by().get("s3", 0.0))
+        cost.labels(category="s3").set_function(
+            lambda: by().get("s3", 0.0))
+        cost.labels(category="dynamodb").set_function(
+            lambda: by().get("dynamodb:system", 0.0)
+            + by().get("dynamodb:user", 0.0))
+        cost.labels(category="follower").set_function(
+            lambda: by().get("fn:fk-follower", 0.0))
+        cost.labels(category="leader").set_function(
+            lambda: sum(v for k, v in by().items()
+                        if k.startswith("fn:fk-leader")))
+        cost.labels(category="distributor").set_function(
+            lambda: sum(v for k, v in by().items()
+                        if k.startswith("fn:fk-distributor")))
+        cost.labels(category="watch").set_function(
+            lambda: by().get("fn:fk-watch", 0.0))
+        cost.labels(category="heartbeat").set_function(
+            lambda: by().get("fn:fk-heartbeat", 0.0))
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """The whole registry as one stable, JSON-able dict."""
+        return self.metrics.snapshot()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the registry (``/metrics``)."""
+        return self.metrics.expose()
+
     # ------------------------------------------------------------ accounting
     def client_cache_stats(self) -> Dict[str, float]:
         """Aggregate hit/miss/invalidation counters of every session's read
@@ -454,22 +578,18 @@ class FaaSKeeperService:
     def cost_breakdown(self) -> Dict[str, float]:
         """Metered dollars by category (Figures 9/11 cost bars), plus the
         client read-cache hit/miss counters so cost reports can attribute a
-        user-store drop to its hit rate."""
-        cache = self.client_cache_stats()
-        by = self.cloud.meter.by_service()
-        return {
-            "client_cache_hits": cache["hits"],
-            "client_cache_misses": cache["misses"],
-            "queue": sum(v for k, v in by.items() if k.startswith("sqs")),
-            "system_store": by.get("dynamodb:system", 0.0),
-            "user_store": by.get("dynamodb:user", 0.0) + by.get("s3", 0.0),
-            "s3": by.get("s3", 0.0),
-            "dynamodb": by.get("dynamodb:system", 0.0) + by.get("dynamodb:user", 0.0),
-            "follower": by.get("fn:fk-follower", 0.0),
-            "leader": sum(v for k, v in by.items()
-                          if k.startswith("fn:fk-leader")),
-            "distributor": sum(v for k, v in by.items()
-                               if k.startswith("fn:fk-distributor")),
-            "watch": by.get("fn:fk-watch", 0.0),
-            "heartbeat": by.get("fn:fk-heartbeat", 0.0),
+        user-store drop to its hit rate.
+
+        Backed entirely by the metrics registry (the ``fk_cost_dollars``
+        and ``fk_client_cache`` callback gauges), with the same categories
+        and values as the pre-registry implementation.
+        """
+        cost = self.metrics.get("fk_cost_dollars")
+        cache = self.metrics.get("fk_client_cache")
+        out: Dict[str, float] = {
+            "client_cache_hits": cache.labels(stat="hits").value,
+            "client_cache_misses": cache.labels(stat="misses").value,
         }
+        for category in self._COST_CATEGORIES:
+            out[category] = cost.labels(category=category).value
+        return out

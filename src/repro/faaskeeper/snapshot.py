@@ -50,14 +50,30 @@ from .distributor import write_user_image
 from .layout import (
     LOG_HEAD_KEY,
     SNAPSHOT_META_KEY,
+    SNAPSHOT_SYS_PREFIX,
     SYSTEM_LOG,
+    SYSTEM_NODES,
+    SYSTEM_SESSIONS,
     SYSTEM_SNAPSHOT,
     SYSTEM_STATE,
+    SYSTEM_WATCHES,
     log_key,
+    new_system_node,
     replicated_key,
 )
 
 __all__ = ["SnapshotManager"]
+
+
+def _cseq_from_children(children: List[str]) -> int:
+    """Best-effort sequential-counter recovery: user images do not carry
+    ``cseq``, but sequential children end in the ``%010d`` suffix the
+    follower stamps — the counter must stay above every existing one."""
+    cseq = 0
+    for name in children:
+        if len(name) >= 10 and name[-10:].isdigit():
+            cseq = max(cseq, int(name[-10:]) + 1)
+    return cseq
 
 
 class _RecoveryCtx:
@@ -78,20 +94,53 @@ class SnapshotManager:
 
     def __init__(self, service) -> None:
         self.service = service
-        self.snapshots_taken = 0
-        self.records_folded = 0
-        self.log_records_compacted = 0
-        self.log_appends = 0
-        self.last_floor = 0
+        registry = service.metrics
+        self._appends = registry.counter(
+            "fk_log_appends_total", "Commit-log records appended")
+        self._snapshots = registry.counter(
+            "fk_snapshots_taken_total", "Fuzzy snapshots completed")
+        self._folded = registry.counter(
+            "fk_snapshot_records_folded_total",
+            "Log records folded into the checkpoint table")
+        self._compacted = registry.counter(
+            "fk_log_records_compacted_total", "Log records truncated")
+        self._floor = registry.gauge(
+            "fk_snapshot_floor_txid", "Published snapshot floor")
+
+    # Pre-metrics attribute API, now read-only over the registry.
+    @property
+    def log_appends(self) -> int:
+        return int(self._appends.value)
+
+    @property
+    def snapshots_taken(self) -> int:
+        return int(self._snapshots.value)
+
+    @property
+    def records_folded(self) -> int:
+        return int(self._folded.value)
+
+    @property
+    def log_records_compacted(self) -> int:
+        return int(self._compacted.value)
+
+    @property
+    def last_floor(self) -> int:
+        return int(self._floor.value)
 
     # ------------------------------------------------------------ log append
     def append_log(self, fctx, txid: int, shard: int,
-                   writes: List[Tuple[str, Optional[Dict[str, Any]], bool, str]]
-                   ) -> Generator:
+                   writes: List[Tuple[str, Optional[Dict[str, Any]], bool, str]],
+                   session: Optional[str] = None) -> Generator:
         """Leader-side durable append, called after commit verification and
         before replication/publish.  One storage transaction writes the log
         record and advances the shard's head watermark; a redelivered
         message (head already at or past ``txid``) is a no-op.
+
+        With the outbox enabled, the transaction additionally carries the
+        committed transaction's event record (the transactional-outbox
+        pattern): the state change, its log record and its outgoing event
+        commit — or no-op on redelivery — together.
         """
         env = fctx.env
         t0 = env.now
@@ -102,18 +151,25 @@ class SnapshotManager:
                        for path, image, is_parent, op in writes],
         }
         head_attr = f"s{shard}"
+        ops = [
+            (SYSTEM_LOG, log_key(txid),
+             [Set(k, v) for k, v in record.items()], None),
+            (SYSTEM_STATE, LOG_HEAD_KEY,
+             [Set(head_attr, txid)],
+             Attr(head_attr).not_exists() | (Attr(head_attr) <= txid)),
+        ]
+        outbox = self.service.outbox
+        outbox_ops = [] if outbox is None else outbox.append_ops(
+            env.now, txid, shard, session, writes)
         try:
-            yield from self.service.system_store.transact_update(fctx.ctx, [
-                (SYSTEM_LOG, log_key(txid),
-                 [Set(k, v) for k, v in record.items()], None),
-                (SYSTEM_STATE, LOG_HEAD_KEY,
-                 [Set(head_attr, txid)],
-                 Attr(head_attr).not_exists() | (Attr(head_attr) <= txid)),
-            ])
-            self.log_appends += 1
+            yield from self.service.system_store.transact_update(
+                fctx.ctx, ops + outbox_ops)
+            self._appends.inc()
+            if outbox_ops:
+                outbox.metrics["appended"].inc()
         except ConditionFailed:
-            # Head beyond txid: this shard already logged the record on an
-            # earlier delivery of the same message.
+            # Head beyond txid: this shard already logged the record (and
+            # its outbox event) on an earlier delivery of the same message.
             pass
         fctx.record("log_append", env.now - t0)
         return None
@@ -156,15 +212,34 @@ class SnapshotManager:
             if record is None:
                 continue  # txid burned by a rejected write: no commit
             yield from self._fold_record(ctx, record)
-            self.records_folded += 1
+            self._folded.inc()
+        yield from self._checkpoint_system(ctx, floor)
         yield from store.put_item(ctx, SYSTEM_STATE, SNAPSHOT_META_KEY, {
             "txid": floor,
             "seq": int(meta.get("seq", 0)) + 1,
             "compacted": int(meta.get("compacted", 0)),
         })
-        self.snapshots_taken += 1
-        self.last_floor = floor
+        self._snapshots.inc()
+        self._floor.set(floor)
         return floor
+
+    def _checkpoint_system(self, ctx: OpContext, floor: int) -> Generator:
+        """Checkpoint the coordination tables (watch instances, session
+        records) alongside the node fold, under ``sys:``-prefixed keys that
+        can never collide with znode paths.  Node *metadata* needs no extra
+        checkpoint — it is rebuilt from the folded images — but watches and
+        sessions exist only in their own tables, so without this a wiped
+        system region would lose every registered watch and ephemeral
+        owner.  Fuzzy like the node fold: entries registered after the
+        published floor are covered by the next snapshot."""
+        store = self.service.system_store
+        for table, key in ((SYSTEM_WATCHES, SNAPSHOT_SYS_PREFIX + "watches"),
+                           (SYSTEM_SESSIONS, SNAPSHOT_SYS_PREFIX + "sessions")):
+            items = yield from store.scan(ctx, table)
+            yield from store.put_item(
+                ctx, SYSTEM_SNAPSHOT, key,
+                {"txid": floor, "items": {k: dict(v) for k, v in items.items()}})
+        return None
 
     def _fold_record(self, ctx: OpContext, record: Dict[str, Any]) -> Generator:
         """Apply one log record to the checkpoint, newest-txid-wins.  Every
@@ -240,7 +315,7 @@ class SnapshotManager:
                 payload_kb=0.032)
         except ConditionFailed:  # pragma: no cover - concurrent compactor
             pass
-        self.log_records_compacted += removed
+        self._compacted.inc(removed)
         return removed
 
     # ------------------------------------------------------------ recovery
@@ -271,6 +346,8 @@ class SnapshotManager:
             start = floor
             checkpoint = yield from store.scan(ctx, SYSTEM_SNAPSHOT)
             for path in sorted(checkpoint):
+                if path.startswith(SNAPSHOT_SYS_PREFIX):
+                    continue  # system-table checkpoints, not node images
                 image = dict(checkpoint[path]["image"])
                 image.setdefault("epoch", [])
                 yield from self.service.user_store.write_node(
@@ -306,6 +383,103 @@ class SnapshotManager:
             self.service.distribution.visibility.mark(region, replayed_txids)
         return {"loaded": loaded, "replayed": len(replayed_txids),
                 "floor": floor, "start": start, "top": top}
+
+    def recover_system(self, ctx: OpContext) -> Generator[Any, Any, Dict[str, int]]:
+        """Rebuild the coordination state itself — the system *node* table
+        plus watch instances and session records — after the system region
+        lost them (``recover_region`` only rebuilds user-store replicas).
+
+        Node metadata is reprojected from durable images: the checkpoint
+        table's folded images plus an **in-memory** replay of the log
+        suffix above the snapshot floor, newest-txid-wins with the same
+        parent/delete semantics as :meth:`_fold_record`.  (The replay is
+        deliberately not a fresh ``take_snapshot``: that would re-scan the
+        watch/session tables — empty right now — and clobber the very
+        ``sys:`` checkpoints this recovery needs.)  Watches and sessions
+        come back verbatim from those checkpoints; being fuzzy, entries
+        registered after the last snapshot are lost with the region and
+        must be re-registered by their clients — the same contract as a
+        ZooKeeper ensemble restoring from its newest snapshot.
+
+        Recovered nodes get ``applied_tx`` = the txid of their newest
+        durable image (those writes are provably replicated or in the log)
+        and an empty pending-transaction list; delete tombstones are not
+        resurrected — dedup of pre-wipe redeliveries rides ``applied_tx``.
+        """
+        store = self.service.system_store
+        meta = yield from self._meta(ctx)
+        floor = int(meta.get("txid", 0))
+        heads = yield from self._log_heads(ctx)
+        top = max([int(heads.get(f"s{i}", 0))
+                   for i in range(self.service.config.leader_shards)] + [0])
+        checkpoint = yield from store.scan(ctx, SYSTEM_SNAPSHOT)
+
+        images: Dict[str, Tuple[int, Dict[str, Any]]] = {}
+        for key, item in checkpoint.items():
+            if key.startswith(SNAPSHOT_SYS_PREFIX):
+                continue
+            images[key] = (int(item["txid"]), dict(item["image"]))
+        replayed = 0
+        for txid in range(floor + 1, top + 1):
+            record = yield from store.get_item(ctx, SYSTEM_LOG, log_key(txid))
+            if record is None:
+                continue  # burned txid
+            replayed += 1
+            for path, image, is_parent, op in record["writes"]:
+                if image is None:  # pragma: no cover - defensive
+                    continue
+                if image.get("deleted"):
+                    images.pop(path, None)
+                    continue
+                folded = {k: v for k, v in image.items() if k != "meta_only"}
+                if is_parent:
+                    prev = images.get(path)
+                    folded["data"] = prev[1].get("data", b"") if prev else b""
+                else:
+                    folded["modified_tx"] = txid
+                    if op == "create":
+                        folded["created_tx"] = txid
+                images[path] = (txid, folded)
+
+        restored = 0
+        for path in sorted(images):
+            txid, image = images[path]
+            children = list(image.get("children", []))
+            node = new_system_node(
+                len(image.get("data", b"") or b""),
+                int(image.get("created_tx", txid)),
+                ephemeral_owner=image.get("ephemeral_owner"))
+            node.update({
+                "version": int(image.get("version", 0)),
+                "cversion": int(image.get("cversion", 0)),
+                "modified_tx": int(image.get("modified_tx", txid)),
+                "children": children,
+                "cseq": _cseq_from_children(children),
+                "applied_tx": txid,
+            })
+            yield from store.put_item(ctx, SYSTEM_NODES, path, node)
+            restored += 1
+        if "/" not in images:
+            # Nothing was ever logged for the root (fresh tree): recreate
+            # it so the pipeline finds its parent again.
+            yield from store.put_item(ctx, SYSTEM_NODES, "/",
+                                      new_system_node(0, 0))
+            restored += 1
+
+        watches = sessions = 0
+        for table, key, counter in (
+                (SYSTEM_WATCHES, SNAPSHOT_SYS_PREFIX + "watches", "w"),
+                (SYSTEM_SESSIONS, SNAPSHOT_SYS_PREFIX + "sessions", "s")):
+            saved = checkpoint.get(key) or {}
+            for item_key in sorted(saved.get("items", {})):
+                yield from store.put_item(
+                    ctx, table, item_key, dict(saved["items"][item_key]))
+                if counter == "w":
+                    watches += 1
+                else:
+                    sessions += 1
+        return {"nodes": restored, "watches": watches, "sessions": sessions,
+                "replayed": replayed, "floor": floor, "top": top}
 
     # ------------------------------------------------------------ scheduled fn
     def handler(self, fctx, payload: Any) -> Generator:

@@ -33,11 +33,31 @@ class WatchFanoutLogic:
 
     def __init__(self, service) -> None:
         self.service = service
-        self.deliveries_by_shard: Dict[int, int] = defaultdict(int)
-        #: Which pipeline stage invoked the fan-out ("leader" for the
-        #: inline step ➍, "distributor" for the asynchronous watch stage);
-        #: the distributor tests assert the fan-out moved off the leader.
-        self.deliveries_by_origin: Dict[str, int] = defaultdict(int)
+        self._deliveries = service.metrics.counter(
+            "fk_watch_deliveries_total",
+            "Per-session watch notifications delivered",
+            ("origin", "shard"))
+        self._invocations = service.metrics.counter(
+            "fk_watch_fanouts_total", "Watch fan-out invocations")
+
+    # Pre-metrics attribute API: the epoch-accounting and sharding tests
+    # index these like the defaultdicts they used to be.
+    @property
+    def deliveries_by_shard(self) -> Dict[int, int]:
+        totals: Dict[int, int] = defaultdict(int)
+        for (_origin, shard), child in self._deliveries.items():
+            totals[int(shard)] += int(child.value)
+        return totals
+
+    @property
+    def deliveries_by_origin(self) -> Dict[str, int]:
+        """Which pipeline stage invoked the fan-out ("leader" for the
+        inline step ➍, "distributor" for the asynchronous watch stage);
+        the distributor tests assert the fan-out moved off the leader."""
+        totals: Dict[str, int] = defaultdict(int)
+        for (origin, _shard), child in self._deliveries.items():
+            totals[origin] += int(child.value)
+        return totals
 
     def handler(self, fctx, payload: Dict[str, Any]) -> Generator:
         """payload = {"txid": int, "shard": int, "origin": str,
@@ -66,6 +86,7 @@ class WatchFanoutLogic:
                 ))
         if deliveries:
             yield AllOf(env, deliveries)
-        self.deliveries_by_shard[shard] += len(deliveries)
-        self.deliveries_by_origin[origin] += len(deliveries)
+        self._invocations.inc()
+        self._deliveries.labels(origin=origin, shard=str(shard)).inc(
+            len(deliveries))
         return len(deliveries)

@@ -11,13 +11,20 @@ snapshot + suffix after replica loss.
 import pytest
 
 from repro.faaskeeper import FaaSKeeperConfig
-from repro.faaskeeper.chaos import region_user_image, wipe_user_region
+from repro.faaskeeper.chaos import (
+    region_user_image,
+    wipe_system_tables,
+    wipe_user_region,
+)
 from repro.faaskeeper.layout import (
     LOG_HEAD_KEY,
     SNAPSHOT_META_KEY,
     SYSTEM_LOG,
+    SYSTEM_NODES,
+    SYSTEM_SESSIONS,
     SYSTEM_SNAPSHOT,
     SYSTEM_STATE,
+    SYSTEM_WATCHES,
     log_key,
     replicated_key,
 )
@@ -43,8 +50,10 @@ def log_txids(service):
 
 def test_default_deployment_has_no_log():
     """The commit log is opt-in: the default deployment neither creates
-    the tables nor pays any per-commit work."""
-    cloud, service = make_service(seed=500)
+    the tables nor pays any per-commit work.  (``outbox_enabled=False``
+    pins the FK_FORCE_OUTBOX CI leg back to the paper's default — the
+    override would otherwise force the commit log on.)"""
+    cloud, service = make_service(seed=500, outbox_enabled=False)
     assert service.snapshots is None
     c = service.connect()
     c.create("/a", b"x")
@@ -238,6 +247,76 @@ def test_redelivered_append_does_not_regress_log_head():
     assert heads["s0"] == res.txid
     data, _ = c.get_data("/a")
     assert data == b"v1"
+
+
+def test_recover_system_rebuilds_wiped_system_region():
+    """Satellite regression: losing the *system* region (node table,
+    watch instances, session records) is recoverable from durables —
+    snapshot images + ``sys:`` checkpoints + the log suffix.  The
+    rebuilt deployment must keep serving: the pre-wipe watch still
+    fires, the sequential counter does not reuse suffixes, and session
+    teardown still reaps its ephemerals."""
+    cloud, service = make_service(seed=512, commit_log_enabled=True)
+    writer = service.connect()
+    watcher = service.connect()
+    writer.create("/a", b"v0")
+    writer.create("/a/kid", b"k0")
+    writer.create("/eph", b"e", ephemeral=True)
+    seq1 = writer.create("/a/item-", b"s", sequence=True)
+    fired = []
+    watcher.get_data("/a", watch=fired.append)
+    snapshot_now(cloud, service)          # checkpoints watches + sessions
+    writer.set_data("/a/kid", b"k1")      # suffix: logged, not snapshotted
+    writer.create("/late", b"fresh")
+
+    nodes = service.system_store.table(SYSTEM_NODES)
+    paths = ["/", "/a", "/a/kid", "/eph", "/late", seq1]
+    before = {p: dict(nodes.raw(p)) for p in paths}
+    def table_image(name):
+        table = service.system_store.table(name)
+        return {key: table.raw(key) for key in table.keys()}
+
+    before_watches = table_image(SYSTEM_WATCHES)
+    before_sessions = table_image(SYSTEM_SESSIONS)
+
+    wipe_system_tables(service)
+    assert nodes.raw("/a") is None  # the wipe really happened
+    stats = cloud.run_process(
+        service.snapshots.recover_system(service.system_ctx))
+    assert stats["replayed"] >= 2 and stats["nodes"] >= len(paths)
+    assert stats["watches"] == len(before_watches) >= 1
+    assert stats["sessions"] == len(before_sessions) == 2
+
+    for path in paths:
+        got = nodes.raw(path)
+        assert got is not None, path
+        for field in ("version", "cversion", "modified_tx", "created_tx",
+                      "ephemeral_owner"):
+            assert got.get(field) == before[path].get(field), (path, field)
+        assert sorted(got.get("children", [])) == \
+            sorted(before[path].get("children", [])), path
+    assert nodes.raw("/a")["cseq"] >= before["/a"]["cseq"]
+    assert table_image(SYSTEM_WATCHES) == before_watches
+    recovered_sessions = table_image(SYSTEM_SESSIONS)
+    assert set(recovered_sessions) == set(before_sessions)
+    assert recovered_sessions[writer.session_id].get("ephemeral") == \
+        before_sessions[writer.session_id].get("ephemeral")
+
+    # The rebuilt region serves: the checkpointed watch instance fires...
+    writer.set_data("/a", b"v1")
+    cloud.run(until=cloud.now + 10_000)
+    assert len(fired) == 1
+    # ...the recovered cseq never reuses a sequential suffix...
+    seq2 = writer.create("/a/item-", b"s2", sequence=True)
+    assert seq2 != seq1 and seq2 > seq1
+    # ...and closing the session reaps the recovered ephemeral (tombstone
+    # in the system table until the GC sweep, gone from the user store).
+    writer.close()
+    cloud.run(until=cloud.now + 10_000)
+    eph = nodes.raw("/eph")
+    assert eph is not None and not eph["exists"]
+    assert region_user_image(service, service.config.primary_region,
+                             "/eph") is None
 
 
 def test_sharded_floor_is_min_over_shards():

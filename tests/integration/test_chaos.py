@@ -10,7 +10,9 @@ mismatches), every acknowledged txid visible in every region's
 per instance, every epoch counter drained.
 
 The matrix mirrors CI: leader shards {1, 4} x distributor {off,
-on_commit} x crashed stage {leader, distributor, watch}.  Seeds come
+on_commit} x crashed stage {leader, distributor, watch}, plus an
+outbox leg that kills the event publisher (``outbox_*`` crash points)
+and audits at-least-once delivery with per-path txid order.  Seeds come
 from ``FK_CHAOS_SEEDS`` (how many, default 12; CI runs 50+) or
 ``FK_CHAOS_SEED`` (exactly one — the reproduce-a-CI-failure knob; any
 failure message prints the seed to export).
@@ -39,14 +41,18 @@ CONFIGS = {
     "s4-dist": dict(leader_shards=4, distributor_enabled=True,
                     ack_policy="on_commit",
                     regions=["us-east-1", "eu-west-1"]),
+    "s1-outbox": dict(leader_shards=1, outbox_enabled=True,
+                      outbox_publish_ms=1_000.0),
 }
 
-#: (config name, crashed stage): distributor crashes need a distributor.
+#: (config name, crashed stage): distributor crashes need a distributor,
+#: outbox crashes a publisher.
 MATRIX = [
     ("s1", "leader"), ("s1", "watch"),
     ("s4", "leader"), ("s4", "watch"),
     ("s1-dist", "leader"), ("s1-dist", "distributor"), ("s1-dist", "watch"),
     ("s4-dist", "leader"), ("s4-dist", "distributor"), ("s4-dist", "watch"),
+    ("s1-outbox", "leader"), ("s1-outbox", "outbox"),
 ]
 
 

@@ -70,6 +70,22 @@ def test_config_service_uses_watch_decorators():
             "(1 membership notification)") in out
 
 
+def test_change_data_capture_streams_every_commit_in_order():
+    """The outbox example's CDC feed must list every committed change —
+    including the delete — exactly once, in txid order, and report a
+    publish lag dominated by the publisher period."""
+    script = REPO_ROOT / "examples" / "change_data_capture.py"
+    assert script in EXAMPLES
+    result = _run_example(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    out = result.stdout
+    for line in ("txid=  1  create     /cluster",
+                 "txid=  3  set_data   /cluster/config",
+                 "txid=  5  delete     /cluster/feature-x"):
+        assert line in out
+    assert "5 events appended, 5 delivered" in out
+
+
 def test_transactional_config_demonstrates_atomicity():
     """The transaction() example must show both sides of atomicity: a
     committed swap (with a single watch notification) and a conflicting
