@@ -24,6 +24,7 @@ import copy
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
+from ..fklint import sanitize
 from ..sim.kernel import Environment, Event
 from ..sim.resources import TokenBucketLimiter
 from .calibration import CloudProfile
@@ -217,6 +218,9 @@ class KeyValueStore:
         condition: Optional[Condition] = None,
     ) -> Generator[Event, Any, None]:
         """Full-item write, optionally conditional."""
+        if sanitize.enabled():
+            sanitize.check_mutation("put_item", table_name, key,
+                                    condition=condition)
         table = self.table(table_name)
         size_kb = item_size_kb(attributes)
         if size_kb > self.profile.kv_item_limit_kb:
@@ -253,6 +257,9 @@ class KeyValueStore:
         counters, Table 6a).  ``payload_kb`` lets callers override the billed
         payload (list appends bill the appended data, not the whole item).
         """
+        if sanitize.enabled():
+            sanitize.check_mutation("update_item", table_name, key,
+                                    updates=updates, condition=condition)
         table = self.table(table_name)
         current = table._items.get(key)
         current_size = item_size_kb(current.value if current else None)
@@ -293,6 +300,9 @@ class KeyValueStore:
         key: str,
         condition: Optional[Condition] = None,
     ) -> Generator[Event, Any, None]:
+        if sanitize.enabled():
+            sanitize.check_mutation("delete_item", table_name, key,
+                                    condition=condition)
         table = self.table(table_name)
         current = table._items.get(key)
         size_kb = item_size_kb(current.value if current else None)
@@ -325,6 +335,11 @@ class KeyValueStore:
         """
         if not ops:
             return []
+        if sanitize.enabled():
+            for table_name, key, updates, condition in ops:
+                sanitize.check_mutation("update_item", table_name, key,
+                                        updates=updates, condition=condition,
+                                        transactional=True)
         total_kb = 0.0
         for table_name, key, _updates, _cond in ops:
             table = self.table(table_name)

@@ -147,7 +147,7 @@ def shard_of_path(path: str, num_shards: int) -> int:
     comp = top_component(path)
     if not comp:
         return 0
-    return zlib.crc32(comp.encode("utf-8")) % num_shards
+    return zlib.crc32(comp.encode()) % num_shards
 
 
 def new_system_node(

@@ -31,7 +31,8 @@ bit-for-bit-gated default deployment.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Type, TypeVar, cast)
 
 __all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram",
            "DEFAULT_BUCKETS"]
@@ -103,6 +104,7 @@ class _Child:
         self._bucket_counts[-1] += 1
 
     def histogram_snapshot(self) -> Dict[str, Any]:
+        assert self._buckets is not None, "snapshot of a non-histogram"
         cumulative: Dict[str, int] = {}
         running = 0
         for bound, count in zip(self._buckets, self._bucket_counts):
@@ -115,6 +117,7 @@ class _Child:
     def quantile(self, q: float) -> float:
         """Bucket-interpolated quantile estimate (Prometheus
         ``histogram_quantile``): enough for p50/p99 bench assertions."""
+        assert self._buckets is not None, "quantile of a non-histogram"
         if self._count == 0:
             return 0.0
         target = q * self._count
@@ -232,6 +235,9 @@ def _fmt_value(value: float) -> str:
     return repr(value)
 
 
+M = TypeVar("M", bound=_Metric)
+
+
 class Counter(_Metric):
     """Monotonically increasing count (resets only with the deployment)."""
 
@@ -312,16 +318,16 @@ class MetricsRegistry:
             raise ValueError(f"metric {name!r} re-registered incompatibly")
         return metric
 
-    def _register(self, cls, name: str, help: str,
-                  labelnames: Sequence[str]):
+    def _register(self, cls: Type[M], name: str, help: str,
+                  labelnames: Sequence[str]) -> M:
         metric = self._metrics.get(name)
         if metric is None:
-            metric = cls(name, help, labelnames)
-            self._metrics[name] = metric
-            return metric
+            created = cls(name, help, labelnames)
+            self._metrics[name] = created
+            return created
         if type(metric) is not cls or metric.labelnames != tuple(labelnames):
             raise ValueError(f"metric {name!r} re-registered incompatibly")
-        return metric
+        return cast(M, metric)
 
     # ------------------------------------------------------------ access
     def get(self, name: str) -> Optional[_Metric]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, ClassVar, Dict, List, Optional
+from typing import Any, ClassVar, Dict, List, Optional, Type
 
 from .exceptions import BadArgumentsError
 
@@ -119,7 +119,8 @@ ACL_PERMS = ("read", "write", "create", "delete")
 OPEN_ACL = {perm: ["world"] for perm in ACL_PERMS}
 
 
-def acl_allows(acl, perm: str, session: str) -> bool:
+def acl_allows(acl: Optional[Dict[str, List[str]]], perm: str,
+               session: str) -> bool:
     """Check one permission of a node ACL for a session (Section 4.4)."""
     if not acl:
         return True
@@ -275,7 +276,8 @@ class CheckOp(Operation):
         return CheckResult(path=result["path"], version=result["version"])
 
 
-_OPERATION_TYPES = {cls.OP: cls for cls in (CreateOp, SetDataOp, DeleteOp, CheckOp)}
+_OPERATION_TYPES: Dict[str, Type[Operation]] = {
+    cls.OP: cls for cls in (CreateOp, SetDataOp, DeleteOp, CheckOp)}
 
 
 def operation_from_dict(raw: Dict[str, Any]) -> Operation:
@@ -289,7 +291,8 @@ def operation_from_dict(raw: Dict[str, Any]) -> Operation:
     try:
         return cls(**fields)
     except TypeError as exc:
-        raise BadArgumentsError(f"malformed {raw.get('op')} operation: {exc}")
+        raise BadArgumentsError(
+            f"malformed {raw.get('op')} operation: {exc}") from exc
 
 
 @dataclass

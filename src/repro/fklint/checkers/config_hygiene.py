@@ -1,0 +1,82 @@
+"""FK006 — config-knob hygiene.
+
+Every knob on :class:`FaaSKeeperConfig` is a published experiment
+parameter: benchmark tables cite them, ablations sweep them, and the
+README's configuration reference is how a reader maps a figure back to
+the deployment that produced it.  A knob is complete only when it has a
+**default** (so every pre-existing configuration keeps meaning the same
+deployment), a **type annotation** (the mypy-strict surface includes
+``config.py``) and a **README mention** (the reference table).
+
+The rule parses the ``FaaSKeeperConfig`` dataclass body and flags fields
+missing any of the three.  The README check is a word-boundary search of
+the project ``README.md`` the driver hands in via
+:attr:`LintContext.readme_text`; when no README is available (bare
+``lint_source`` calls in tests) the documentation check is skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List
+
+from ..core import Checker, Finding, LintContext, register
+
+CONFIG_CLASS = "FaaSKeeperConfig"
+
+
+@register
+class ConfigHygieneChecker(Checker):
+    rule = "FK006"
+    name = "config-hygiene"
+    description = ("FaaSKeeperConfig knob missing a default, a type "
+                   "annotation, or a README mention")
+
+    def applies(self, ctx: LintContext) -> bool:
+        return (ctx.basename() == "config.py"
+                and ctx.in_dir("repro", "faaskeeper"))
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == CONFIG_CLASS:
+                findings.extend(self._check_class(ctx, node))
+        return findings
+
+    def _check_class(self, ctx: LintContext,
+                     cls: ast.ClassDef) -> Iterable[Finding]:
+        for stmt in cls.body:
+            if isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                name = stmt.target.id
+                if name.startswith("_"):
+                    continue
+                if stmt.value is None:
+                    yield ctx.finding(
+                        self.rule, stmt,
+                        f"config knob `{name}` has no default: every knob "
+                        "must default to the paper's evaluation setup so "
+                        "existing configurations keep meaning the same "
+                        "deployment")
+                if self._undocumented(ctx, name):
+                    yield ctx.finding(
+                        self.rule, stmt,
+                        f"config knob `{name}` is not mentioned in "
+                        "README.md: add it to the configuration reference")
+            elif isinstance(stmt, ast.Assign):
+                names = [t.id for t in stmt.targets
+                         if isinstance(t, ast.Name)]
+                for name in names:
+                    if name.startswith("_"):
+                        continue
+                    yield ctx.finding(
+                        self.rule, stmt,
+                        f"config knob `{name}` has no type annotation: "
+                        "config.py is on the mypy-strict surface")
+
+    @staticmethod
+    def _undocumented(ctx: LintContext, name: str) -> bool:
+        if ctx.readme_text is None:
+            return False
+        return re.search(rf"\b{re.escape(name)}\b", ctx.readme_text) is None

@@ -1,0 +1,96 @@
+"""FK004 — handler statelessness (cold-restart survivability).
+
+The chaos suite models sandbox loss by calling ``cold_restart()`` on a
+stage logic and redelivering in-flight queue messages; the paper's
+correctness argument (and our crash-restart CI leg) assumes a handler
+holds **no** state the platform would not reconstruct.  Mutable state at
+*module* level is the one place that assumption silently breaks: it
+survives ``cold_restart()`` (which only resets the instance), so a test
+passes locally while a real redeployment — or merely a second concurrent
+sandbox — diverges.
+
+The rule flags module-level assignments of mutable containers (dict/
+list/set displays, comprehensions, ``defaultdict``/``deque``/``Counter``/
+``OrderedDict``/``itertools.count`` constructions) in the handler
+modules (leader, follower, distributor, watch_fn, heartbeat, gc, outbox,
+snapshot).  Immutable values (tuples, frozensets, constants) and
+``__all__`` are exempt.  Genuinely-constant registries populated at
+import time may be suppressed with ``# fklint: disable=FK004`` plus a
+justification comment — CONTRIBUTING.md documents the bar.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..core import Checker, Finding, LintContext, register
+from .common import dotted_name
+
+#: Handler modules whose top level must stay stateless.
+HANDLER_MODULES = {
+    "leader.py", "follower.py", "distributor.py", "watch_fn.py",
+    "heartbeat.py", "gc.py", "outbox.py", "snapshot.py",
+}
+
+#: Constructors that produce mutable containers.
+MUTABLE_CALLS = {
+    "dict", "list", "set", "bytearray",
+    "collections.defaultdict", "collections.deque", "collections.Counter",
+    "collections.OrderedDict", "defaultdict", "deque", "Counter",
+    "OrderedDict", "itertools.count", "count",
+}
+
+MUTABLE_DISPLAYS = (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                    ast.ListComp, ast.SetComp)
+
+
+def _mutable_reason(value: Optional[ast.expr]) -> Optional[str]:
+    if value is None:
+        return None
+    if isinstance(value, MUTABLE_DISPLAYS):
+        return type(value).__name__.lower().replace("comp", " comprehension")
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        if name in MUTABLE_CALLS:
+            return f"{name}()"
+    return None
+
+
+@register
+class HandlerStateChecker(Checker):
+    rule = "FK004"
+    name = "handler-state"
+    description = ("mutable module-level state in a function-handler "
+                   "module (survives cold_restart, diverges across "
+                   "sandboxes)")
+
+    def applies(self, ctx: LintContext) -> bool:
+        return (ctx.in_dir("repro", "faaskeeper")
+                and ctx.basename() in HANDLER_MODULES)
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = [t.id for t in stmt.targets
+                           if isinstance(t, ast.Name)]
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                targets = [stmt.target.id]
+                value = stmt.value
+            else:
+                continue
+            if not targets or targets == ["__all__"]:
+                continue
+            reason = _mutable_reason(value)
+            if reason is None:
+                continue
+            findings.append(ctx.finding(
+                self.rule, stmt,
+                f"module-level mutable state `{targets[0]} = {reason}` in "
+                "a handler module: it survives cold_restart() and is not "
+                "shared across sandboxes — move it onto the stage-logic "
+                "instance (reset in cold_restart) or into a system table"))
+        return findings

@@ -1,0 +1,57 @@
+"""``python -m repro.fklint`` — the command-line driver.
+
+Exit status: 0 clean, 1 findings, 2 usage/IO error (argparse semantics).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import all_checkers, lint_paths
+from .reporters import write_report
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fklint",
+        description="Domain-aware static analysis for the FaaSKeeper "
+                    "reproduction: machine-enforces the determinism, "
+                    "atomic-commit, watch-guard, handler-statelessness, "
+                    "coroutine and config invariants the test suite "
+                    "otherwise only assumes.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids or names to run "
+                             "(e.g. FK001,atomic-commit); default: all")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for cls in all_checkers():
+            print(f"{cls.rule}  {cls.name:<22} {cls.description}")
+        return 0
+    select = ([s.strip() for s in args.select.split(",") if s.strip()]
+              if args.select else None)
+    try:
+        findings, nfiles = lint_paths(args.paths, select=select)
+    except FileNotFoundError as exc:
+        print(f"fklint: error: {exc}", file=sys.stderr)
+        return 2
+    write_report(findings, nfiles, args.format, sys.stdout)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List
+
+from .core import Finding
+
+__all__ = ["render_text", "render_json", "write_report"]
+
+
+def render_text(findings: List[Finding], nfiles: int) -> str:
+    lines = [f.format() for f in findings]
+    if findings:
+        lines.append(f"found {len(findings)} problem"
+                     f"{'s' if len(findings) != 1 else ''} "
+                     f"in {nfiles} file{'s' if nfiles != 1 else ''}")
+    else:
+        lines.append(f"checked {nfiles} file{'s' if nfiles != 1 else ''}: "
+                     "all clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], nfiles: int) -> str:
+    return json.dumps({
+        "files_checked": nfiles,
+        "findings": [f.to_dict() for f in findings],
+    }, indent=2, sort_keys=True)
+
+
+def write_report(findings: List[Finding], nfiles: int, fmt: str,
+                 stream: IO[str]) -> None:
+    renderer = render_json if fmt == "json" else render_text
+    stream.write(renderer(findings, nfiles) + "\n")

@@ -113,7 +113,8 @@ class Resource:
                 self._waiters.remove(request)
                 return
             except ValueError:
-                raise SimulationError("releasing a request that was never made")
+                raise SimulationError(
+                    "releasing a request that was never made") from None
         if self._waiters:
             waiter = self._waiters.popleft()
             waiter.succeed(None)
