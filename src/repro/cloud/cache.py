@@ -16,6 +16,7 @@ from typing import Any, Dict, Generator, Optional
 from ..sim.kernel import Environment, Event
 from .calibration import CloudProfile
 from .context import OpContext
+from .faults import FaultInjector, draw_fault
 from .pricing import CostMeter, VM_DAY_RATE
 
 __all__ = ["InMemoryCache"]
@@ -42,6 +43,8 @@ class InMemoryCache:
         self.vm_type = vm_type
         self.service_label = service_label
         self._data: Dict[str, Any] = {}
+        #: Armed by deployments running a fault schedule (None = no draws).
+        self.faults: Optional[FaultInjector] = None
 
     def _latency(self, ctx: OpContext, size_kb: float) -> float:
         value = self.profile.cache_rw.sample(self.rng, size_kb) * ctx.io_mult
@@ -62,18 +65,31 @@ class InMemoryCache:
         return 0.05
 
     def set(self, ctx: OpContext, key: str, value: Any) -> Generator[Event, Any, None]:
+        fault = draw_fault(self.faults, "set", mutating=True)
+        if fault is not None:
+            yield from self.faults.fire_before(fault, f"cache set {key}")
         yield self.env.timeout(self._latency(ctx, self._size_kb(value)))
         self._data[key] = copy.deepcopy(value)
+        if fault is not None:
+            self.faults.fire_after(fault, f"cache set {key}")
 
     def get(self, ctx: OpContext, key: str) -> Generator[Event, Any, Optional[Any]]:
+        fault = draw_fault(self.faults, "get", mutating=False)
+        if fault is not None:
+            yield from self.faults.fire_before(fault, f"cache get {key}")
         value = self._data.get(key)
         yield self.env.timeout(self._latency(ctx, self._size_kb(value)))
         value = self._data.get(key)
         return copy.deepcopy(value) if value is not None else None
 
     def delete(self, ctx: OpContext, key: str) -> Generator[Event, Any, None]:
+        fault = draw_fault(self.faults, "delete", mutating=True)
+        if fault is not None:
+            yield from self.faults.fire_before(fault, f"cache delete {key}")
         yield self.env.timeout(self._latency(ctx, 0.0))
         self._data.pop(key, None)
+        if fault is not None:
+            self.faults.fire_after(fault, f"cache delete {key}")
 
     def daily_cost(self) -> float:
         """Fixed provisioning cost — the non-serverless part of this option."""

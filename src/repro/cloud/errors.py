@@ -13,6 +13,10 @@ __all__ = [
     "PayloadTooLarge",
     "FunctionCrash",
     "ThrottlingError",
+    "StorageTimeout",
+    "ConnectionReset",
+    "StorageUnavailable",
+    "TRANSIENT_ERRORS",
 ]
 
 
@@ -62,3 +66,31 @@ class FunctionCrash(CloudError):
 
 class ThrottlingError(CloudError):
     """Request rejected by a throughput ceiling."""
+
+
+class StorageTimeout(CloudError):
+    """The request hung past the client deadline; whether it was applied
+    server-side is unknown to the caller (an *ambiguous* failure)."""
+
+
+class ConnectionReset(CloudError):
+    """The connection dropped mid-request.  Raised before the mutation
+    applied it is unambiguous; raised after (the partial-write fault) the
+    caller cannot tell — the retry layer's idempotence tokens exist for
+    exactly this case."""
+
+
+class StorageUnavailable(CloudError):
+    """A storage endpoint is being shed: its circuit breaker is open, or a
+    retry policy exhausted its attempts.  Carries the terminal cause."""
+
+    def __init__(self, message: str = "storage unavailable",
+                 cause: Exception | None = None) -> None:
+        super().__init__(message)
+        self.cause = cause
+
+
+#: Error classes a retry policy may transparently retry.  ConditionFailed
+#: is deliberately absent: a failed conditional write is a *decision*, not
+#: an outage, and must surface to the caller.
+TRANSIENT_ERRORS = (ThrottlingError, StorageTimeout, ConnectionReset)

@@ -37,9 +37,16 @@ from .expressions import (
     apply_updates,
     item_size_kb,
 )
+from .faults import FaultInjector, draw_fault
 from .pricing import CostMeter
 
-__all__ = ["KeyValueStore", "Table", "StreamRecord"]
+__all__ = ["KeyValueStore", "Table", "StreamRecord", "TTL_ATTRIBUTE"]
+
+#: Reserved item attribute holding the expiry instant (virtual-clock ms).
+#: Items carrying it are lazily expired by the table — DynamoDB-style
+#: *conditional* TTL: rewriting the attribute into the future keeps the
+#: item alive, because expiry re-checks the attribute when it fires.
+TTL_ATTRIBUTE = "__expires__"
 
 
 @dataclass
@@ -52,6 +59,10 @@ class StreamRecord:
     new_image: Optional[Dict[str, Any]]
     sequence: int
     timestamp: float
+    #: ``"write"`` for caller mutations, ``"ttl"`` for native TTL expiry —
+    #: the discriminator DynamoDB exposes as ``userIdentity`` on TTL
+    #: deletions, so listeners can react to expiry specifically.
+    reason: str = "write"
 
 
 @dataclass
@@ -74,6 +85,10 @@ class Table:
         self._stream_seq = 0
         self.write_count = 0
         self.read_count = 0
+        #: Keys whose current value carries :data:`TTL_ATTRIBUTE` — the
+        #: expiry pass only ever walks this set, so tables that never use
+        #: TTL pay nothing.
+        self._ttl_keys: set = set()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -87,7 +102,8 @@ class Table:
         return None if rec is None else rec.value
 
     # -- internal mutation helpers -----------------------------------------
-    def _emit(self, key: str, old: Optional[Dict[str, Any]], new: Optional[Dict[str, Any]]) -> None:
+    def _emit(self, key: str, old: Optional[Dict[str, Any]], new: Optional[Dict[str, Any]],
+              reason: str = "write") -> None:
         if not self.stream_listeners:
             return
         self._stream_seq += 1
@@ -98,15 +114,18 @@ class Table:
             new_image=copy.deepcopy(new),
             sequence=self._stream_seq,
             timestamp=self._env.now,
+            reason=reason,
         )
         for listener in self.stream_listeners:
             listener(record)
 
-    def _store(self, key: str, value: Optional[Dict[str, Any]]) -> None:
+    def _store(self, key: str, value: Optional[Dict[str, Any]],
+               reason: str = "write") -> None:
         old_rec = self._items.get(key)
         old = old_rec.value if old_rec else None
         if value is None:
             self._items.pop(key, None)
+            self._ttl_keys.discard(key)
         else:
             self._items[key] = _Versioned(
                 value=value,
@@ -114,7 +133,32 @@ class Table:
                 previous=old,
                 previous_at=old_rec.written_at if old_rec else 0.0,
             )
-        self._emit(key, old, value)
+            if TTL_ATTRIBUTE in value:
+                self._ttl_keys.add(key)
+            else:
+                self._ttl_keys.discard(key)
+        self._emit(key, old, value, reason=reason)
+
+    # -- native TTL ---------------------------------------------------------
+    def expire_due(self, now: float) -> int:
+        """Expire every item whose TTL instant has passed (lazy, like
+        DynamoDB: expiry happens when the table is next touched, not at
+        the instant itself).  The check is conditional — an item whose
+        TTL attribute was rewritten into the future survives.  Expiries
+        emit stream records with ``reason="ttl"``."""
+        if not self._ttl_keys:
+            return 0
+        expired = 0
+        for key in list(self._ttl_keys):
+            rec = self._items.get(key)
+            if rec is None:
+                self._ttl_keys.discard(key)  # wiped out-of-band
+                continue
+            expires = rec.value.get(TTL_ATTRIBUTE)
+            if expires is not None and float(expires) <= now:
+                self._store(key, None, reason="ttl")
+                expired += 1
+        return expired
 
 
 class KeyValueStore:
@@ -141,6 +185,15 @@ class KeyValueStore:
         self.region = region
         self.service_label = service_label
         self.tables: Dict[str, Table] = {}
+        #: Armed by deployments running a fault schedule; None (default)
+        #: means zero draws and zero overhead on every operation.
+        self.faults: Optional[FaultInjector] = None
+        #: Idempotence-token ledger (DynamoDB ``ClientRequestToken``): a
+        #: mutator carrying a token records its result here at apply time;
+        #: a replay of the same token returns the recorded result without
+        #: re-applying — the device that makes ambiguous-failure retries
+        #: exactly-once.
+        self._token_results: Dict[str, Any] = {}
 
     # ------------------------------------------------------------ tables
     def create_table(self, name: str, capacity_per_s: Optional[float] = None) -> Table:
@@ -191,11 +244,16 @@ class KeyValueStore:
         FaaSKeeper's system storage (Section 3.3).
         """
         table = self.table(table_name)
+        fault = draw_fault(self.faults, "get_item", mutating=False)
+        if fault is not None:
+            yield from self.faults.fire_before(fault, f"get_item {table_name}/{key}")
+        table.expire_due(self.env.now)
         rec = table._items.get(key)
         size_kb = item_size_kb(rec.value if rec else None)
         wait = self._admit(table, 1.0)
         latency = self._latency(ctx, self.profile.kv_read, size_kb)
         yield self.env.timeout(wait + latency)
+        table.expire_due(self.env.now)
         table.read_count += 1
         # Re-fetch after the delay: the read observes the state at completion
         # time for strong reads, possibly stale state for eventual ones.
@@ -216,12 +274,21 @@ class KeyValueStore:
         key: str,
         attributes: Dict[str, Any],
         condition: Optional[Condition] = None,
+        token: Optional[str] = None,
     ) -> Generator[Event, Any, None]:
-        """Full-item write, optionally conditional."""
+        """Full-item write, optionally conditional.
+
+        ``token`` (DynamoDB ``ClientRequestToken``) makes the write
+        idempotent: a replay of an already-applied token returns without
+        re-applying or re-evaluating the condition.
+        """
         if sanitize.enabled():
             sanitize.check_mutation("put_item", table_name, key,
                                     condition=condition)
         table = self.table(table_name)
+        fault = draw_fault(self.faults, "put_item", mutating=True)
+        if fault is not None:
+            yield from self.faults.fire_before(fault, f"put_item {table_name}/{key}")
         size_kb = item_size_kb(attributes)
         if size_kb > self.profile.kv_item_limit_kb:
             raise ItemTooLarge(f"{size_kb:.1f} kB > {self.profile.kv_item_limit_kb} kB")
@@ -233,11 +300,18 @@ class KeyValueStore:
         yield self.env.timeout(wait + latency)
         table.write_count += 1
         self._charge_write(ctx, size_kb)
+        if token is not None and token in self._token_results:
+            return None  # replay of an applied write: nothing to redo
+        table.expire_due(self.env.now)
         cond = condition or Always()
         current = table._items.get(key)
         if not cond.evaluate(current.value if current else None):
             raise ConditionFailed(item=copy.deepcopy(current.value) if current else None)
         table._store(key, copy.deepcopy(attributes))
+        if token is not None:
+            self._token_results[token] = None
+        if fault is not None:
+            self.faults.fire_after(fault, f"put_item {table_name}/{key}")
 
     def update_item(
         self,
@@ -249,6 +323,7 @@ class KeyValueStore:
         atomic_hint: bool = False,
         payload_kb: float = 0.0,
         latency_model=None,
+        token: Optional[str] = None,
     ) -> Generator[Event, Any, Dict[str, Any]]:
         """Atomically apply update actions iff ``condition`` holds.
 
@@ -261,6 +336,9 @@ class KeyValueStore:
             sanitize.check_mutation("update_item", table_name, key,
                                     updates=updates, condition=condition)
         table = self.table(table_name)
+        fault = draw_fault(self.faults, "update_item", mutating=True)
+        if fault is not None:
+            yield from self.faults.fire_before(fault, f"update_item {table_name}/{key}")
         current = table._items.get(key)
         current_size = item_size_kb(current.value if current else None)
         size_kb = payload_kb if payload_kb > 0 else current_size
@@ -278,6 +356,9 @@ class KeyValueStore:
         yield self.env.timeout(wait + latency)
         table.write_count += 1
         self._charge_write(ctx, max(size_kb, 0.001))
+        if token is not None and token in self._token_results:
+            return copy.deepcopy(self._token_results[token])
+        table.expire_due(self.env.now)
         cond = condition or Always()
         current = table._items.get(key)
         current_value = current.value if current else None
@@ -291,6 +372,10 @@ class KeyValueStore:
         if new_size > self.profile.kv_item_limit_kb:
             raise ItemTooLarge(f"{new_size:.1f} kB > {self.profile.kv_item_limit_kb} kB")
         table._store(key, new_value)
+        if token is not None:
+            self._token_results[token] = copy.deepcopy(new_value)
+        if fault is not None:
+            self.faults.fire_after(fault, f"update_item {table_name}/{key}")
         return copy.deepcopy(new_value)
 
     def delete_item(
@@ -299,11 +384,15 @@ class KeyValueStore:
         table_name: str,
         key: str,
         condition: Optional[Condition] = None,
+        token: Optional[str] = None,
     ) -> Generator[Event, Any, None]:
         if sanitize.enabled():
             sanitize.check_mutation("delete_item", table_name, key,
                                     condition=condition)
         table = self.table(table_name)
+        fault = draw_fault(self.faults, "delete_item", mutating=True)
+        if fault is not None:
+            yield from self.faults.fire_before(fault, f"delete_item {table_name}/{key}")
         current = table._items.get(key)
         size_kb = item_size_kb(current.value if current else None)
         conditional = condition is not None
@@ -313,16 +402,24 @@ class KeyValueStore:
         yield self.env.timeout(wait + latency)
         table.write_count += 1
         self._charge_write(ctx, 1.0)
+        if token is not None and token in self._token_results:
+            return None
+        table.expire_due(self.env.now)
         cond = condition or Always()
         current = table._items.get(key)
         if not cond.evaluate(current.value if current else None):
             raise ConditionFailed()
         table._store(key, None)
+        if token is not None:
+            self._token_results[token] = None
+        if fault is not None:
+            self.faults.fire_after(fault, f"delete_item {table_name}/{key}")
 
     def transact_update(
         self,
         ctx: OpContext,
         ops: Sequence[tuple],
+        token: Optional[str] = None,
     ) -> Generator[Event, Any, List[Dict[str, Any]]]:
         """Atomic multi-item conditional update (DynamoDB transactions).
 
@@ -340,6 +437,10 @@ class KeyValueStore:
                 sanitize.check_mutation("update_item", table_name, key,
                                         updates=updates, condition=condition,
                                         transactional=True)
+        fault = draw_fault(self.faults, "transact_update", mutating=True)
+        if fault is not None:
+            first = f"{ops[0][0]}/{ops[0][1]}"
+            yield from self.faults.fire_before(fault, f"transact_update {first}")
         total_kb = 0.0
         for table_name, key, _updates, _cond in ops:
             table = self.table(table_name)
@@ -354,6 +455,10 @@ class KeyValueStore:
         extra = self.profile.kv_conditional_extra_ms * len(ops)
         latency = self._latency(ctx, self.profile.kv_write, total_kb, extra)
         yield self.env.timeout(wait + latency)
+        if token is not None and token in self._token_results:
+            return copy.deepcopy(self._token_results[token])
+        for table_name, _key, _u, _c in ops:
+            self.table(table_name).expire_due(self.env.now)
         # Atomic check-then-apply at a single instant of virtual time.
         staged: List[tuple] = []
         for table_name, key, updates, condition in ops:
@@ -384,6 +489,11 @@ class KeyValueStore:
             )
             table._store(key, new_value)
             images.append(copy.deepcopy(new_value))
+        if token is not None:
+            self._token_results[token] = copy.deepcopy(images)
+        if fault is not None:
+            first = f"{ops[0][0]}/{ops[0][1]}"
+            self.faults.fire_after(fault, f"transact_update {first}")
         return images
 
     def scan(
@@ -393,10 +503,15 @@ class KeyValueStore:
     ) -> Generator[Event, Any, Dict[str, Dict[str, Any]]]:
         """Full-table scan: bills one read per 4 kB of total data."""
         table = self.table(table_name)
+        fault = draw_fault(self.faults, "scan", mutating=False)
+        if fault is not None:
+            yield from self.faults.fire_before(fault, f"scan {table_name}")
+        table.expire_due(self.env.now)
         total_kb = sum(item_size_kb(rec.value) for rec in table._items.values())
         wait = self._admit(table, max(1.0, total_kb / 4.0))
         latency = self._latency(ctx, self.profile.kv_read, total_kb)
         yield self.env.timeout(wait + latency)
+        table.expire_due(self.env.now)
         table.read_count += 1
         self._charge_read(ctx, max(total_kb, 1.0), consistent=True)
         return {k: copy.deepcopy(rec.value) for k, rec in table._items.items()}

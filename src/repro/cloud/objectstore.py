@@ -18,6 +18,7 @@ from ..sim.kernel import Environment, Event
 from .calibration import CloudProfile
 from .context import OpContext
 from .errors import NoSuchBucket, NoSuchObject
+from .faults import FaultInjector, draw_fault
 from .pricing import CostMeter
 
 __all__ = ["ObjectStore"]
@@ -42,6 +43,8 @@ class ObjectStore:
         self.region = region
         self.service_label = service_label
         self._buckets: Dict[str, Dict[str, tuple[Any, Dict[str, Any]]]] = {}
+        #: Armed by deployments running a fault schedule (None = no draws).
+        self.faults: Optional[FaultInjector] = None
 
     # ------------------------------------------------------------ buckets
     def create_bucket(self, name: str) -> None:
@@ -92,11 +95,16 @@ class ObjectStore:
     ) -> Generator[Event, Any, None]:
         """Whole-object write (there is no partial-update path, Req. #6)."""
         objects = self._bucket(bucket)
+        fault = draw_fault(self.faults, "put_object", mutating=True)
+        if fault is not None:
+            yield from self.faults.fire_before(fault, f"put_object {bucket}/{key}")
         size_kb = self.payload_kb(payload)
         yield self.env.timeout(self._latency(ctx, self.profile.obj_write, size_kb))
         objects[key] = (payload, copy.deepcopy(metadata or {}))
         self.meter.charge(ctx.payer or self.service_label, "obj_write",
                           self.profile.prices.object_write_cost(size_kb))
+        if fault is not None:
+            self.faults.fire_after(fault, f"put_object {bucket}/{key}")
 
     def get_object(
         self,
@@ -106,6 +114,9 @@ class ObjectStore:
     ) -> Generator[Event, Any, tuple[Any, Dict[str, Any]]]:
         """Strongly consistent read; raises :class:`NoSuchObject` if absent."""
         objects = self._bucket(bucket)
+        fault = draw_fault(self.faults, "get_object", mutating=False)
+        if fault is not None:
+            yield from self.faults.fire_before(fault, f"get_object {bucket}/{key}")
         entry = objects.get(key)
         size_kb = self.payload_kb(entry[0]) if entry else 0.0
         yield self.env.timeout(self._latency(ctx, self.profile.obj_read, size_kb))
@@ -124,10 +135,15 @@ class ObjectStore:
         key: str,
     ) -> Generator[Event, Any, None]:
         objects = self._bucket(bucket)
+        fault = draw_fault(self.faults, "delete_object", mutating=True)
+        if fault is not None:
+            yield from self.faults.fire_before(fault, f"delete_object {bucket}/{key}")
         yield self.env.timeout(self._latency(ctx, self.profile.obj_write, 0.0))
         objects.pop(key, None)
         self.meter.charge(ctx.payer or self.service_label, "obj_write",
                           self.profile.prices.object_write_cost(0.0))
+        if fault is not None:
+            self.faults.fire_after(fault, f"delete_object {bucket}/{key}")
 
     def total_stored_kb(self, bucket: str) -> float:
         return sum(self.payload_kb(p) for p, _ in self._bucket(bucket).values())

@@ -36,7 +36,6 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from .config import UserStoreKind
 from .layout import (
     LOG_HEAD_KEY,
     OUTBOX_DEAD_LETTER_KEY,
@@ -45,15 +44,13 @@ from .layout import (
     SYSTEM_SESSIONS,
     SYSTEM_STATE,
     SYSTEM_WATCHES,
-    USER_BUCKET,
-    USER_TABLE,
     epoch_key,
 )
 from .service import FaaSKeeperService
 
 __all__ = ["ChaosMonkey", "CRASH_POINTS", "wipe_user_region",
            "wipe_system_tables", "region_user_image", "verify_exactly_once",
-           "verify_outbox_delivery"]
+           "verify_outbox_delivery", "arm_storage_faults"]
 
 #: Stage -> crash points the harness knows how to arm.
 CRASH_POINTS: Dict[str, Tuple[str, ...]] = {
@@ -76,7 +73,8 @@ class ChaosMonkey:
     def __init__(self, service: FaaSKeeperService, seed: int,
                  stages: Optional[Iterable[str]] = None,
                  probability: float = 0.25,
-                 budget_per_point: int = 2) -> None:
+                 budget_per_point: int = 2,
+                 storage_fault_rate: float = 0.0) -> None:
         self.service = service
         self.rng = random.Random(seed)
         self.probability = probability
@@ -116,6 +114,14 @@ class ChaosMonkey:
             shared = {"left": total}
             self._arm(service.watch_fn, None, CRASH_POINTS["watch"],
                       per_point, shared_cap=shared)
+        #: Armed storage-fault injectors (empty unless storage_fault_rate>0):
+        #: the storage-fault axis of the chaos matrix, orthogonal to the
+        #: crash stages above.  Scheduling determinism comes from the
+        #: simulation's named RNG streams, so (sim seed, config, rate)
+        #: fully determines the fault schedule.
+        self.storage_injectors = (
+            arm_storage_faults(service, rate=storage_fault_rate)
+            if storage_fault_rate > 0 else [])
 
     # ------------------------------------------------------------ wiring
     def _arm(self, fn, logic, points: Tuple[str, ...], budget: int,
@@ -158,18 +164,21 @@ class ChaosMonkey:
 # Region destruction + raw inspection
 # --------------------------------------------------------------------------
 
+def arm_storage_faults(service: FaaSKeeperService,
+                       rate: float) -> List[Any]:
+    """Arm a seeded transient-fault schedule on every storage service the
+    deployment owns (delegates to the backend registry's ``fault_points``
+    plus the system store).  Returns the armed injectors."""
+    return service.arm_storage_faults(rate=rate)
+
+
 def wipe_user_region(service: FaaSKeeperService, region: str) -> None:
     """Destroy one region's user-store replica in place (zero latency):
     the replica-loss disaster cold recovery rebuilds from.  System
-    storage — the durable side of the design — is untouched."""
-    cloud = service.cloud
-    kind = service.config.user_store
-    if kind in (UserStoreKind.DYNAMODB, UserStoreKind.HYBRID):
-        cloud.kv("dynamodb:user", region=region).table(USER_TABLE)._items.clear()
-    if kind in (UserStoreKind.S3, UserStoreKind.HYBRID):
-        cloud.objectstore("s3", region=region)._buckets[USER_BUCKET].clear()
-    if kind == UserStoreKind.REDIS:
-        cloud.cache("redis", region=region)._data.clear()
+    storage — the durable side of the design — is untouched.  Dispatches
+    through the registry backend's own ``wipe_region``, so every
+    registered backend — ``mem://`` included — is chaos-able."""
+    service.user_store.wipe_region(region)
 
 
 def wipe_system_tables(service: FaaSKeeperService) -> None:
@@ -187,27 +196,9 @@ def wipe_system_tables(service: FaaSKeeperService) -> None:
 def region_user_image(service: FaaSKeeperService, region: str,
                       path: str) -> Optional[Dict[str, Any]]:
     """Zero-latency peek at one region's user image (test verification —
-    the billed read path is :meth:`UserStore.read_node`)."""
-    cloud = service.cloud
-    kind = service.config.user_store
-    if kind == UserStoreKind.S3:
-        entry = cloud.objectstore(
-            "s3", region=region)._buckets[USER_BUCKET].get(path)
-        if entry is None:
-            return None
-        payload, meta = entry
-        return dict(meta, data=payload)
-    if kind == UserStoreKind.REDIS:
-        return cloud.cache("redis", region=region)._data.get(path)
-    item = cloud.kv("dynamodb:user", region=region).table(USER_TABLE).raw(path)
-    if item is None:
-        return None
-    if item.get("data_in_s3"):
-        payload = cloud.objectstore(
-            "s3", region=region).raw(USER_BUCKET, path)
-        item = dict(item, data=payload or b"")
-    item.pop("data_in_s3", None)
-    return item
+    the billed read path is :meth:`UserStore.read_node`).  Dispatches
+    through the registry backend's own ``peek``."""
+    return service.user_store.peek(region, path)
 
 
 # --------------------------------------------------------------------------

@@ -10,14 +10,20 @@ __all__ = ["FaaSKeeperConfig", "UserStoreKind"]
 
 
 class UserStoreKind:
-    """User-data storage backends evaluated in the paper (Figures 8/9/11)."""
+    """User-data storage backends evaluated in the paper (Figures 8/9/11),
+    plus the in-process ``mem`` reference backend.  ``user_store`` accepts
+    either a bare kind or a registry URI (``"hybrid://?threshold_kb=8"``);
+    see :mod:`repro.faaskeeper.userstore`."""
 
     S3 = "s3"              # object store only (standard configuration)
     DYNAMODB = "dynamodb"  # key-value only
     HYBRID = "hybrid"      # <=threshold in key-value, larger data in object
     REDIS = "redis"        # user-managed in-memory cache
+    MEM = "mem"            # in-process reference backend (zero billing)
 
-    ALL = (S3, DYNAMODB, HYBRID, REDIS)
+    ALL = (S3, DYNAMODB, HYBRID, REDIS, MEM)
+    #: Alternate URI schemes resolving to a canonical kind.
+    ALIASES = {"dynamo": DYNAMODB}
 
 
 @dataclass
@@ -131,9 +137,56 @@ class FaaSKeeperConfig:
     client_cache_entries: int = 0
     #: Byte budget of the client cache in kB (0 = bounded by entries only).
     client_cache_kb: float = 0.0
+    #: Retry every storage round trip (system and user store) through the
+    #: RetryingStore wrapper: exponential backoff + jitter on transient
+    #: errors (throttling, timeouts, connection resets), idempotence-token
+    #: replay for ambiguous failures, a per-region circuit breaker.  On by
+    #: default — with no faults the wrapper adds no latency and draws no
+    #: RNG, so default fingerprints stay bit-for-bit.
+    storage_retry_enabled: bool = True
+    #: Maximum attempts per storage op (first try included).
+    storage_retry_attempts: int = 5
+    #: Base of the exponential backoff (ms): retry ``n`` waits about
+    #: ``base * 2**(n-1)``, jittered, capped at ``storage_retry_cap_ms``.
+    storage_retry_base_ms: float = 10.0
+    #: Ceiling of one backoff wait (ms).
+    storage_retry_cap_ms: float = 2_000.0
+    #: Jitter fraction: each wait is scaled by a uniform factor in
+    #: ``[1 - j/2, 1 + j/2]`` (0 = deterministic backoff).
+    storage_retry_jitter: float = 0.5
+    #: Consecutive transient failures that trip a store/region's circuit
+    #: breaker from CLOSED to OPEN (requests shed immediately).
+    storage_breaker_threshold: int = 8
+    #: How long (virtual ms) an OPEN breaker sheds before letting one
+    #: HALF_OPEN probe through.
+    storage_breaker_cooldown_ms: float = 10_000.0
+    #: Seeded transient-fault injection on every storage service the
+    #: deployment owns (throttle / timeout / connection reset / partial
+    #: write).  ``None`` (the default) means off — unless the
+    #: ``FK_STORAGE_FAULTS=1`` environment override is set (the CI leg
+    #: that runs the whole tier-1 suite under faults); pass an explicit
+    #: ``False`` to pin it off regardless — the escape hatch the
+    #: bit-for-bit fingerprint gates use.
+    storage_faults: Optional[bool] = None
+    #: Per-operation fault probability when the schedule is armed.
+    storage_fault_rate: float = 0.05
+    #: Virtual time an injected-timeout request hangs before dying (ms).
+    storage_fault_timeout_ms: float = 250.0
+    #: TTL-native ephemeral cleanup: session records carry a conditional
+    #: TTL refreshed by the heartbeat; a dead session's record *expires in
+    #: the store* and the expiry stream record drives the eviction that
+    #: deletes its ephemerals — instead of the heartbeat's eviction sweep.
+    #: Requires a TTL-capable backend fleet (``supports_ttl`` on the
+    #: registry, e.g. ``dynamodb``/``hybrid``/``mem``); on fleets without
+    #: the capability the flag degrades to the sweep unchanged.
+    ephemeral_ttl_enabled: bool = False
+    #: Session-record TTL (ms).  0 = auto: one heartbeat period plus two
+    #: session timeouts, so a live session is always refreshed in time.
+    ephemeral_ttl_ms: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.user_store not in UserStoreKind.ALL:
+        scheme = str(self.user_store).split("://", 1)[0]
+        if scheme not in UserStoreKind.ALL and scheme not in UserStoreKind.ALIASES:
             raise ValueError(f"unknown user store {self.user_store!r}")
         if not self.regions:
             raise ValueError("need at least one region")
@@ -194,6 +247,39 @@ class FaaSKeeperConfig:
                 f"got {self.outbox_retry_base_ms}")
         if self.outbox_enabled and not self.outbox_sinks:
             raise ValueError("outbox_enabled=True needs at least one sink")
+        if self.storage_retry_attempts < 1:
+            raise ValueError(
+                f"storage_retry_attempts must be >= 1, "
+                f"got {self.storage_retry_attempts}")
+        if self.storage_retry_base_ms < 0 or self.storage_retry_cap_ms < 0:
+            raise ValueError("storage retry backoff times must be >= 0")
+        if not 0.0 <= self.storage_retry_jitter <= 1.0:
+            raise ValueError(
+                f"storage_retry_jitter must be in [0, 1], "
+                f"got {self.storage_retry_jitter}")
+        if self.storage_breaker_threshold < 1:
+            raise ValueError(
+                f"storage_breaker_threshold must be >= 1, "
+                f"got {self.storage_breaker_threshold}")
+        if self.storage_breaker_cooldown_ms < 0:
+            raise ValueError(
+                f"storage_breaker_cooldown_ms must be >= 0, "
+                f"got {self.storage_breaker_cooldown_ms}")
+        if self.storage_faults is None:
+            # CI override: one leg runs the whole tier-1 suite with a
+            # seeded fault schedule armed (mirrors FK_FORCE_OUTBOX).
+            self.storage_faults = os.environ.get("FK_STORAGE_FAULTS", "") == "1"
+        if not 0.0 <= self.storage_fault_rate <= 1.0:
+            raise ValueError(
+                f"storage_fault_rate must be in [0, 1], "
+                f"got {self.storage_fault_rate}")
+        if self.storage_fault_timeout_ms < 0:
+            raise ValueError(
+                f"storage_fault_timeout_ms must be >= 0, "
+                f"got {self.storage_fault_timeout_ms}")
+        if self.ephemeral_ttl_ms < 0:
+            raise ValueError(
+                f"ephemeral_ttl_ms must be >= 0, got {self.ephemeral_ttl_ms}")
 
     @property
     def client_cache_enabled(self) -> bool:
@@ -214,3 +300,12 @@ class FaaSKeeperConfig:
     @property
     def primary_region(self) -> str:
         return self.regions[0]
+
+    @property
+    def effective_ephemeral_ttl_ms(self) -> float:
+        """The session-record TTL: explicit, or auto (one heartbeat period
+        plus two session timeouts — a live session always refreshes well
+        before expiry, a dead one expires within about one sweep)."""
+        if self.ephemeral_ttl_ms > 0:
+            return self.ephemeral_ttl_ms
+        return self.heartbeat_period_ms + 2.0 * self.session_timeout_ms

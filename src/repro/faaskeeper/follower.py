@@ -706,7 +706,12 @@ class FollowerLogic:
         """Session teardown: delete owned ephemerals, drop the session."""
         sessions = self.service.system_store
         item = yield from sessions.get_item(fctx.ctx, SYSTEM_SESSIONS, req.session)
-        ephemerals = list(item.get("ephemeral", [])) if item else []
+        if item is not None:
+            ephemerals = list(item.get("ephemeral", []))
+        else:
+            # Native-TTL evictions delete the record before the close
+            # request runs; the evictor embedded the list in the message.
+            ephemerals = list(req.ephemerals or [])
         # Deepest paths first so children go before parents.
         for path in sorted(ephemerals, key=lambda p: -p.count("/")):
             sub = Request(session=req.session, rid=-1, op="delete",

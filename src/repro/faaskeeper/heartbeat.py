@@ -22,6 +22,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator
 
+from ..cloud.errors import ConditionFailed
+from ..cloud.expressions import Set, item_exists
+from ..cloud.kvstore import TTL_ATTRIBUTE
 from ..sim.kernel import AllOf
 from .layout import SYSTEM_SESSIONS
 
@@ -76,6 +79,27 @@ class HeartbeatLogic:
         self._sweeps.inc()
         self._checked.inc(len(to_check))
         expired = [sid for sid in to_check if not results.get(sid, False)]
+        if self.service.ephemeral_ttl_active:
+            # Native-TTL fleet: answering sessions get their record's TTL
+            # pushed forward; silent ones simply stop being refreshed and
+            # the table's own expiry starts the eviction (the scan above
+            # is also what lets due expirations fire).  No eviction is
+            # enqueued here — the TTL deletion owns that.
+            ttl_ms = self.service.config.effective_ephemeral_ttl_ms
+            t0 = env.now
+            for sid in to_check:
+                if not results.get(sid, False):
+                    continue
+                try:
+                    yield from self.service.system_store.update_item(
+                        fctx.ctx, SYSTEM_SESSIONS, sid,
+                        [Set(TTL_ATTRIBUTE, env.now + ttl_ms)],
+                        condition=item_exists(), atomic_hint=True,
+                        payload_kb=0.05)
+                except ConditionFailed:
+                    pass  # closed between scan and refresh — nothing to keep
+            fctx.record("ttl_refresh", env.now - t0)
+            return {"checked": len(to_check), "evicted": 0}
         for sid in expired:
             self._evictions.inc()
             yield from self.service.enqueue_eviction(fctx.ctx, sid)

@@ -315,6 +315,9 @@ class Request:
     acl: dict | None = None       # ACL for the created node
     shard_hint: int | None = None  # client-computed leader shard for the path
     ops: List[dict] | None = None  # multi: wire dicts of the member operations
+    #: close_session only: ephemeral paths to release when the session
+    #: record no longer exists (native-TTL evictions delete it first).
+    ephemerals: List[str] | None = None
 
     @classmethod
     def from_operation(cls, session: str, rid: int, op: Operation) -> "Request":

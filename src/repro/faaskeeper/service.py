@@ -27,6 +27,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..cloud.cloud import Cloud
 from ..cloud.context import OpContext
+from ..cloud.kvstore import TTL_ATTRIBUTE
 from ..cloud.queues import SharedSequence
 from ..primitives import TimedLock
 from .client import FaaSKeeperClient
@@ -52,6 +53,8 @@ from .leader import LeaderLogic
 from .metrics import MetricsRegistry
 from .model import KeeperState, Response, WatchedEvent
 from .outbox import OutboxStage
+from .retry import (BREAKER_OPEN, RetryPolicy, RetryingKeyValueStore,
+                    RetryingUserStore)
 from .snapshot import SnapshotManager
 from .watch_fn import WatchFanoutLogic
 from .watches import EpochLedger, WatchRegistry
@@ -133,6 +136,24 @@ class FaaSKeeperService:
 
         # --- system storage -------------------------------------------------
         self.system_store = cloud.kv("dynamodb:system", region=config.primary_region)
+        retry_policy = RetryPolicy(
+            enabled=config.storage_retry_enabled,
+            max_attempts=config.storage_retry_attempts,
+            base_ms=config.storage_retry_base_ms,
+            cap_ms=config.storage_retry_cap_ms,
+            jitter=config.storage_retry_jitter)
+        if config.storage_retry_enabled:
+            # Every system-store round trip below goes through the retry/
+            # breaker engine.  The jitter stream is created lazily on the
+            # first actual retry, so fault-free runs keep their RNG draw
+            # sequence — and their fingerprints — bit-for-bit.
+            self.system_store = RetryingKeyValueStore(
+                self.system_store, cloud.env,
+                lambda: cloud.rng.stream("storage-retry:system"),
+                retry_policy, config.storage_breaker_threshold,
+                config.storage_breaker_cooldown_ms, self.metrics,
+                on_breaker_transition=self._on_breaker_transition,
+                label="system")
         for table in (SYSTEM_NODES, SYSTEM_STATE, SYSTEM_SESSIONS, SYSTEM_WATCHES):
             self.system_store.create_table(table)
         self.node_lock = TimedLock(self.system_store, SYSTEM_NODES,
@@ -146,6 +167,37 @@ class FaaSKeeperService:
         from .userstore import make_user_store
 
         self.user_store = make_user_store(cloud, config)
+        if config.storage_retry_enabled:
+            # Backend ops are whole-image writes (idempotent), so the
+            # wrapper replays them bodily; each region gets its own
+            # circuit breaker since regions fail independently.
+            self.user_store = RetryingUserStore(
+                self.user_store, cloud.env,
+                lambda: cloud.rng.stream("storage-retry:user"),
+                retry_policy, config.storage_breaker_threshold,
+                config.storage_breaker_cooldown_ms, self.metrics,
+                on_breaker_transition=self._on_breaker_transition,
+                label="user")
+        #: Fault injectors armed on this deployment (empty = clean run).
+        self.storage_injectors: List[Any] = []
+        if config.storage_faults:
+            self.arm_storage_faults(rate=config.storage_fault_rate)
+
+        # --- TTL-native ephemeral cleanup (capability-gated) ------------------
+        # Session records carry a DynamoDB-style conditional TTL attribute
+        # that the heartbeat refreshes forward; a record whose owner stops
+        # answering lapses and the table's TTL deletion (reason="ttl" on
+        # the stream) starts the eviction — carrying the ephemeral list in
+        # the message, since the record itself is already gone.  Fleets
+        # whose user backend lacks native TTL keep the unchanged
+        # heartbeat-driven sweep.
+        self._ttl_evictions = None
+        if self.ephemeral_ttl_active:
+            self._ttl_evictions = self.metrics.counter(
+                "fk_ttl_evictions_total",
+                "Sessions evicted by native TTL expiry of their record")
+            self.system_store.table(SYSTEM_SESSIONS).stream_listeners.append(
+                self._on_session_expired)
 
         # --- functions & queues ----------------------------------------------
         num_shards = config.leader_shards
@@ -249,6 +301,85 @@ class FaaSKeeperService:
                ) -> "FaaSKeeperService":
         return cls(cloud, config or FaaSKeeperConfig())
 
+    # ------------------------------------------------------------ resilience
+    def arm_storage_faults(self, rate: Optional[float] = None) -> List[Any]:
+        """Arm a seeded transient-fault schedule on every storage endpoint.
+
+        One :class:`~repro.cloud.faults.FaultInjector` per fault point —
+        the system key-value store plus whatever endpoints the registered
+        user backend reports via ``fault_points()`` — each driven by its
+        own named RNG stream (``storage-faults:<label>@<region>``), so the
+        schedule replays exactly for a given sim seed and is independent
+        of every other stream.  Idempotent per deployment: re-arming
+        replaces the previous injectors.
+        """
+        from ..cloud.faults import FAULT_KINDS, FaultInjector
+
+        if rate is None:
+            rate = self.config.storage_fault_rate
+        user_inner = getattr(self.user_store, "inner", self.user_store)
+        system_inner = getattr(self.system_store, "_inner", self.system_store)
+        points = [system_inner] + list(user_inner.fault_points())
+        injectors = []
+        for point in points:
+            label = getattr(point, "service_label", "kv")
+            region = getattr(point, "region", "all")
+            stream = self.cloud.rng.stream(f"storage-faults:{label}@{region}")
+            injector = FaultInjector(
+                self.cloud.env, stream, rate,
+                timeout_ms=self.config.storage_fault_timeout_ms)
+            point.faults = injector
+            injectors.append(injector)
+        self.storage_injectors = injectors
+        injected = self.metrics.gauge(
+            "fk_storage_faults_injected",
+            "Transient storage faults injected, by kind", ("kind",))
+        for kind in FAULT_KINDS:
+            injected.labels(kind=kind).set_function(
+                lambda k=kind: float(sum(i.injected[k]
+                                         for i in self.storage_injectors)))
+        return injectors
+
+    def disarm_storage_faults(self) -> None:
+        """Remove all armed injectors (the schedule stops drawing)."""
+        user_inner = getattr(self.user_store, "inner", self.user_store)
+        system_inner = getattr(self.system_store, "_inner", self.system_store)
+        for point in [system_inner] + list(user_inner.fault_points()):
+            point.faults = None
+        self.storage_injectors = []
+
+    @property
+    def ephemeral_ttl_active(self) -> bool:
+        """Native TTL cleanup is on: opted in *and* the deployment's user
+        backend advertises the capability (``supports_ttl`` on the
+        registry).  Other fleets keep the heartbeat-driven sweep."""
+        return bool(self.config.ephemeral_ttl_enabled
+                    and self.user_store.supports_ttl)
+
+    def _on_session_expired(self, record) -> None:
+        """SYSTEM_SESSIONS stream listener: a TTL deletion of a session
+        record is the eviction signal.  The record is already gone, so the
+        close request embeds its ephemeral list for the follower."""
+        if record.reason != "ttl" or record.old_image is None:
+            return
+        if self._ttl_evictions is not None:
+            self._ttl_evictions.inc()
+        region = record.old_image.get("region", self.config.primary_region)
+        self.cloud.run_process(self.enqueue_eviction(
+            OpContext(region=region), record.key,
+            ephemerals=list(record.old_image.get("ephemeral", []))))
+
+    def _on_breaker_transition(self, label: str, region: str, state: str
+                               ) -> None:
+        """An OPEN breaker means the store endpoint is effectively down:
+        shed the affected sessions to SUSPENDED (not LOST — the next
+        successful round trip after recovery heals them)."""
+        if state != BREAKER_OPEN:
+            return
+        for client in list(self.clients.values()):
+            if label == "system" or client.region == region:
+                client._transition(KeeperState.SUSPENDED)
+
     # Single-leader aliases (shard 0), kept for the paper-configuration
     # benchmarks and tests written against the unsharded deployment.
     @property
@@ -347,9 +478,13 @@ class FaaSKeeperService:
             max_receive=self.config.follower_max_receive)
         queue.attach(self.follower_fn, batch_limit=self.config.follower_batch)
         self._session_queues[session_id] = queue
+        session_item = {"ephemeral": [], "region": region, "last_rid": 0}
+        if self.ephemeral_ttl_active:
+            session_item[TTL_ATTRIBUTE] = (
+                self.cloud.env.now + self.config.effective_ephemeral_ttl_ms)
         self.cloud.run_process(self.system_store.put_item(
             OpContext(region=region), SYSTEM_SESSIONS, session_id,
-            {"ephemeral": [], "region": region, "last_rid": 0}))
+            session_item))
         client = FaaSKeeperClient(self, session_id, region, queue)
         self.clients[session_id] = client
         if self.active_sessions == 1:
@@ -459,15 +594,22 @@ class FaaSKeeperService:
             client._transition(KeeperState.SUSPENDED)
         return answered
 
-    def enqueue_eviction(self, ctx: OpContext, session_id: str) -> Generator:
+    def enqueue_eviction(self, ctx: OpContext, session_id: str,
+                         ephemerals: Optional[List[str]] = None) -> Generator:
         """Queue a deregistration request into the session's own queue, so it
-        orders after any writes the session already submitted."""
+        orders after any writes the session already submitted.
+
+        ``ephemerals`` rides along when the caller already knows the list
+        (the TTL path, whose session record no longer exists to read)."""
         queue = self._session_queues.get(session_id)
         if queue is None:  # pragma: no cover - defensive
             return None
-        yield from queue.send(ctx, {
+        body: Dict[str, Any] = {
             "session": session_id, "rid": -1, "op": "close_session",
-        }, group=session_id, size_kb=0.1)
+        }
+        if ephemerals is not None:
+            body["ephemerals"] = list(ephemerals)
+        yield from queue.send(ctx, body, group=session_id, size_kb=0.1)
         return None
 
     # ------------------------------------------------------------ metrics

@@ -6,8 +6,9 @@ from . import (  # noqa: F401  (imported for their @register side effect)
     config_hygiene,
     determinism,
     handler_state,
+    storage_access,
     watch_guard,
 )
 
 __all__ = ["atomic_commit", "blocking", "config_hygiene", "determinism",
-           "handler_state", "watch_guard"]
+           "handler_state", "storage_access", "watch_guard"]

@@ -1,0 +1,283 @@
+"""The self-healing storage layer: retry policy, backoff, idempotent
+replay, circuit breaker, and the session-state consequences."""
+
+import random
+
+import pytest
+
+from repro.cloud import Cloud, ListAppend
+from repro.cloud.context import OpContext
+from repro.cloud.errors import ConditionFailed, StorageUnavailable
+from repro.cloud.expressions import Attr
+from repro.cloud.faults import FaultInjector
+from repro.faaskeeper.layout import SYSTEM_SESSIONS
+from repro.faaskeeper.metrics import MetricsRegistry
+from repro.faaskeeper.model import KeeperState
+from repro.faaskeeper.retry import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    RetryingKeyValueStore,
+    RetryPolicy,
+)
+
+from .conftest import make_service
+
+
+class ScriptedInjector(FaultInjector):
+    """Deterministic fault script: fire the listed kinds in order, then
+    behave cleanly.  Bypasses the RNG draw so tests are exact."""
+
+    def __init__(self, env, kinds):
+        super().__init__(env, rng=random.Random(0), rate=1.0)
+        self._script = list(kinds)
+
+    def draw(self, op, mutating):
+        if not self._script:
+            return None
+        kind = self._script.pop(0)
+        if kind is not None:
+            self.injected[kind] += 1
+        return kind
+
+
+class FakeEnv:
+    def __init__(self):
+        self.now = 0.0
+
+
+def make_wrapped(policy=None, threshold=8, cooldown=10_000.0, seed=11):
+    cloud = Cloud.aws(seed=seed)
+    kv = cloud.kv("dynamodb:test")
+    kv.create_table("t")
+    wrapped = RetryingKeyValueStore(
+        kv, cloud.env, lambda: cloud.rng.stream("test-retry"),
+        policy or RetryPolicy(), threshold, cooldown, MetricsRegistry(),
+        label="system")
+    return cloud, kv, wrapped
+
+
+# -------------------------------------------------------------- RetryPolicy
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(base_ms=10.0, cap_ms=100.0, jitter=0.0)
+    waits = [policy.backoff_ms(n, u=0.5) for n in (1, 2, 3, 4, 5, 6)]
+    assert waits == [10.0, 20.0, 40.0, 80.0, 100.0, 100.0]
+
+
+def test_backoff_jitter_bounds():
+    policy = RetryPolicy(base_ms=100.0, cap_ms=1e9, jitter=0.5)
+    assert policy.backoff_ms(1, u=0.0) == pytest.approx(75.0)
+    assert policy.backoff_ms(1, u=1.0) == pytest.approx(125.0)
+
+
+# ----------------------------------------------------------- CircuitBreaker
+def test_breaker_trips_after_threshold_and_recovers():
+    env = FakeEnv()
+    transitions = []
+    breaker = CircuitBreaker(env, threshold=3, cooldown_ms=100.0,
+                             on_transition=transitions.append)
+    assert breaker.state == BREAKER_CLOSED
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == BREAKER_CLOSED and breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == BREAKER_OPEN
+    assert not breaker.allow()                # shedding
+    env.now = 99.0
+    assert not breaker.allow()                # still cooling down
+    env.now = 100.0
+    assert breaker.allow()                    # the half-open probe
+    assert breaker.state == BREAKER_HALF_OPEN
+    assert not breaker.allow()                # only one probe in flight
+    breaker.record_success()
+    assert breaker.state == BREAKER_CLOSED and breaker.allow()
+    assert transitions == [BREAKER_OPEN, BREAKER_HALF_OPEN, BREAKER_CLOSED]
+
+
+def test_breaker_failed_probe_reopens_with_fresh_cooldown():
+    env = FakeEnv()
+    breaker = CircuitBreaker(env, threshold=1, cooldown_ms=100.0)
+    breaker.record_failure()
+    env.now = 100.0
+    assert breaker.allow()
+    breaker.record_failure()                  # probe failed
+    assert breaker.state == BREAKER_OPEN
+    assert breaker.opened_at == 100.0         # cooldown restarted
+    assert not breaker.allow()
+
+
+def test_success_resets_the_consecutive_failure_count():
+    env = FakeEnv()
+    breaker = CircuitBreaker(env, threshold=3, cooldown_ms=100.0)
+    for _ in range(2):
+        breaker.record_failure()
+    breaker.record_success()
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == BREAKER_CLOSED    # never 3 *consecutive*
+
+
+# ------------------------------------------------------------- retry engine
+def test_transient_faults_are_absorbed():
+    cloud, kv, wrapped = make_wrapped()
+    kv.faults = ScriptedInjector(cloud.env, ["throttle", "conn_reset"])
+    ctx = OpContext()
+
+    def flow():
+        yield from wrapped.put_item(ctx, "t", "k", {"a": 1})
+        return (yield from wrapped.get_item(ctx, "t", "k"))
+
+    assert cloud.run_process(flow()) == {"a": 1}
+    retries = wrapped.retrier._retries
+    assert retries.labels(store="system", op="put_item",
+                          error="ThrottlingError").value == 1
+
+
+def test_backoff_consumes_virtual_time_only_on_retries():
+    policy = RetryPolicy(base_ms=10.0, cap_ms=100.0, jitter=0.0)
+    cloud, kv, wrapped = make_wrapped(policy=policy)
+    ctx = OpContext()
+    cloud.run_process(wrapped.put_item(ctx, "t", "clean", {}))
+    clean = cloud.now
+    kv.faults = ScriptedInjector(cloud.env, ["throttle", "throttle"])
+    t0 = cloud.now
+    cloud.run_process(wrapped.put_item(ctx, "t", "flaky", {}))
+    assert cloud.now - t0 >= clean + 10.0 + 20.0  # two backoffs waited
+
+
+def test_partial_write_replays_instead_of_reapplying():
+    """The ambiguous failure: the first attempt applied server-side and
+    died after.  A blind retry would double-append; the idempotence token
+    must make the replay return the recorded result."""
+    cloud, kv, wrapped = make_wrapped()
+    ctx = OpContext()
+    cloud.run_process(wrapped.put_item(ctx, "t", "k", {"log": []}))
+    kv.faults = ScriptedInjector(cloud.env, ["partial_write"])
+    cloud.run_process(wrapped.update_item(
+        ctx, "t", "k", [ListAppend("log", ["entry"])]))
+    item = cloud.run_process(wrapped.get_item(ctx, "t", "k"))
+    assert item["log"] == ["entry"]           # exactly once, not twice
+
+
+def test_exhaustion_raises_storage_unavailable_with_cause():
+    policy = RetryPolicy(max_attempts=3, base_ms=1.0, jitter=0.0)
+    cloud, kv, wrapped = make_wrapped(policy=policy, threshold=100)
+    kv.faults = ScriptedInjector(cloud.env, ["throttle"] * 10)
+    with pytest.raises(StorageUnavailable, match="after 3 attempts"):
+        cloud.run_process(wrapped.put_item(OpContext(), "t", "k", {}))
+    assert wrapped.retrier._exhausted.labels(
+        store="system", op="put_item").value == 1
+
+
+def test_condition_failed_is_never_retried():
+    cloud, kv, wrapped = make_wrapped()
+    ctx = OpContext()
+    cloud.run_process(wrapped.put_item(ctx, "t", "k", {"v": 1}))
+    with pytest.raises(ConditionFailed):
+        cloud.run_process(wrapped.put_item(
+            ctx, "t", "k", {"v": 2}, condition=Attr("v") == 99))
+    assert wrapped.retrier._retries.labels(
+        store="system", op="put_item", error="ConditionFailed").value == 0
+
+
+def test_open_breaker_sheds_without_touching_the_store():
+    policy = RetryPolicy(max_attempts=2, base_ms=1.0, jitter=0.0)
+    cloud, kv, wrapped = make_wrapped(policy=policy, threshold=2)
+    kv.faults = ScriptedInjector(cloud.env, ["throttle"] * 100)
+    with pytest.raises(StorageUnavailable):
+        cloud.run_process(wrapped.put_item(OpContext(), "t", "k", {}))
+    breaker = wrapped.retrier.breakers[kv.region]
+    assert breaker.state == BREAKER_OPEN
+    drawn_before = len(kv.faults._script)
+    with pytest.raises(StorageUnavailable, match="circuit open"):
+        cloud.run_process(wrapped.put_item(OpContext(), "t", "k2", {}))
+    assert len(kv.faults._script) == drawn_before  # shed, not attempted
+
+
+def test_disabled_policy_passes_errors_straight_through():
+    from repro.cloud.errors import ThrottlingError
+
+    policy = RetryPolicy(enabled=False)
+    cloud, kv, wrapped = make_wrapped(policy=policy)
+    kv.faults = ScriptedInjector(cloud.env, ["throttle"])
+    with pytest.raises(ThrottlingError):
+        cloud.run_process(wrapped.put_item(OpContext(), "t", "k", {}))
+
+
+# ------------------------------------------------------- session-state arc
+def test_breaker_open_suspends_sessions_then_eviction_loses_them():
+    """Retry exhaustion under a persistent outage: SUSPENDED while the
+    breaker sheds, LOST once the eviction close lands."""
+    cloud, service = make_service(user_store="mem",
+                                  storage_breaker_threshold=6)
+    client = service.connect()
+    cloud.run(until=cloud.now + 5_000)
+    assert client.state == KeeperState.CONNECTED
+
+    inner = service.system_store._inner
+    inner.faults = ScriptedInjector(cloud.env, ["throttle"] * 1000)
+    ctx = OpContext(region=service.config.primary_region)
+    # 5 attempts fail (exhaustion), the next call's second failure is the
+    # 6th consecutive: the breaker opens and suspends the session.
+    for _ in range(2):
+        with pytest.raises(StorageUnavailable):
+            cloud.run_process(service.system_store.get_item(
+                ctx, SYSTEM_SESSIONS, client.session_id))
+    assert client.state == KeeperState.SUSPENDED
+    assert not client.closed                   # suspended, not killed
+
+    # The outage outlives the session: the eviction close is LOST.
+    service.on_session_closed(client.session_id, evicted=True)
+    assert client.state == KeeperState.LOST
+    assert client.evicted
+
+
+def test_breaker_recovery_heals_instead_of_evicting():
+    cloud, service = make_service(user_store="mem",
+                                  storage_breaker_threshold=6,
+                                  storage_breaker_cooldown_ms=1_000.0)
+    client = service.connect()
+    cloud.run(until=cloud.now + 5_000)
+    inner = service.system_store._inner
+    inner.faults = ScriptedInjector(cloud.env, ["throttle"] * 10)
+    ctx = OpContext(region=service.config.primary_region)
+    for _ in range(2):
+        with pytest.raises(StorageUnavailable):
+            cloud.run_process(service.system_store.get_item(
+                ctx, SYSTEM_SESSIONS, client.session_id))
+    assert client.state == KeeperState.SUSPENDED
+
+    # Outage ends; after the cooldown the half-open probe closes the
+    # breaker and a successful client round trip heals the session.
+    inner.faults = None
+    cloud.run(until=cloud.now + 2_000)
+    client.create("/healed", b"x")
+    assert client.state == KeeperState.CONNECTED
+    assert service.system_store.retrier.breakers[
+        inner.region].state == BREAKER_CLOSED
+
+
+# ------------------------------------------------------------- fingerprint
+def test_retry_layer_is_invisible_without_faults():
+    """Acceptance gate: faults off + retry on (the default) must not move
+    the write fingerprint by a single event — same timings, same costs as
+    a deployment with the whole layer disabled."""
+
+    def run(**cfg):
+        # storage_faults pinned off: this gate is *about* the no-fault
+        # path, and the retry-off arm cannot survive an injected fault.
+        cloud, service = make_service(seed=97, user_store="hybrid",
+                                      storage_faults=False, **cfg)
+        c = service.connect()
+        trace = []
+        for i in range(12):
+            c.create(f"/n{i}", b"x" * (i * 512))
+            trace.append(cloud.now)
+        for i in range(12):
+            c.set_data(f"/n{i}", b"y" * 256)
+            trace.append(cloud.now)
+        trace.append(cloud.meter.total)
+        return trace
+
+    assert run(storage_retry_enabled=True) == run(storage_retry_enabled=False)

@@ -26,7 +26,11 @@ def test_scale_to_zero_no_compute_costs_when_idle(cloud, service):
     assert cloud.meter.total == before
 
 
-def test_heartbeat_fires_every_minute_with_ephemeral_owner(cloud, service):
+def test_heartbeat_fires_every_minute_with_ephemeral_owner():
+    # storage_faults pinned off: the exact firing count is a fault-free
+    # timing calibration — one retry backoff inside connect/create phase-
+    # shifts the schedule and the 5-minute window catches only 4 firings.
+    cloud, service = make_service(storage_faults=False)
     c = service.connect()
     c.create("/e", ephemeral=True)
     fired_before = service.heartbeat_task.fired

@@ -1,0 +1,140 @@
+"""TTL-native ephemeral cleanup: the kv store's conditional TTL, the
+capability gate on the backend registry, and the end-to-end eviction arc
+(lapse -> stream record -> embedded-ephemerals close)."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.cloud.context import OpContext
+from repro.cloud.kvstore import TTL_ATTRIBUTE
+from repro.faaskeeper import FaaSKeeperConfig
+
+from .conftest import make_service
+
+
+# --------------------------------------------------------------- kv-level
+def make_kv(seed=5):
+    cloud = Cloud.aws(seed=seed)
+    kv = cloud.kv("dynamodb:test")
+    kv.create_table("t")
+    return cloud, kv
+
+
+def test_expired_item_is_lazily_deleted_on_next_touch():
+    cloud, kv = make_kv()
+    ctx = OpContext()
+    cloud.run_process(kv.put_item(ctx, "t", "k",
+                                  {"a": 1, TTL_ATTRIBUTE: cloud.now + 500.0}))
+    assert kv.table("t").raw("k") is not None
+    cloud.run(until=cloud.now + 1_000)
+    # Nothing touched the table: DynamoDB-style lazy expiry.
+    assert kv.table("t").raw("k") is not None
+    assert cloud.run_process(kv.get_item(ctx, "t", "k")) is None
+    assert kv.table("t").raw("k") is None
+
+
+def test_refreshing_the_attribute_keeps_the_item_alive():
+    cloud, kv = make_kv()
+    ctx = OpContext()
+    cloud.run_process(kv.put_item(ctx, "t", "k",
+                                  {"a": 1, TTL_ATTRIBUTE: cloud.now + 500.0}))
+    cloud.run(until=cloud.now + 400)
+    from repro.cloud import Set
+    cloud.run_process(kv.update_item(
+        ctx, "t", "k", [Set(TTL_ATTRIBUTE, cloud.now + 500.0)]))
+    cloud.run(until=cloud.now + 400)
+    assert cloud.run_process(kv.get_item(ctx, "t", "k")) is not None
+
+
+def test_ttl_expiry_emits_a_stream_record_with_reason_ttl():
+    cloud, kv = make_kv()
+    ctx = OpContext()
+    records = []
+    kv.table("t").stream_listeners.append(records.append)
+    cloud.run_process(kv.put_item(ctx, "t", "k",
+                                  {"a": 1, TTL_ATTRIBUTE: cloud.now + 100.0}))
+    cloud.run(until=cloud.now + 200)
+    cloud.run_process(kv.scan(ctx, "t"))
+    reasons = [(r.key, r.reason, r.new_image) for r in records]
+    assert ("k", "write", {"a": 1, TTL_ATTRIBUTE: pytest.approx(100.0)}) == \
+        (records[0].key, records[0].reason, records[0].new_image)
+    assert reasons[-1][0] == "k" and reasons[-1][1] == "ttl"
+    assert records[-1].new_image is None
+    assert records[-1].old_image["a"] == 1
+
+
+def test_items_without_the_attribute_never_expire():
+    cloud, kv = make_kv()
+    ctx = OpContext()
+    cloud.run_process(kv.put_item(ctx, "t", "k", {"a": 1}))
+    cloud.run(until=cloud.now + 10_000_000)
+    assert cloud.run_process(kv.get_item(ctx, "t", "k")) == {"a": 1}
+
+
+# ------------------------------------------------------------ config gate
+def test_effective_ttl_auto_derives_from_heartbeat_and_timeout():
+    config = FaaSKeeperConfig(heartbeat_period_ms=60_000.0,
+                              session_timeout_ms=10_000.0)
+    assert config.effective_ephemeral_ttl_ms == 80_000.0
+    assert FaaSKeeperConfig(
+        ephemeral_ttl_ms=5_000.0).effective_ephemeral_ttl_ms == 5_000.0
+
+
+@pytest.mark.parametrize("scheme,active", [
+    ("mem", True), ("dynamodb", True), ("hybrid", True),
+    ("s3", False), ("redis", False),
+])
+def test_ttl_activation_follows_the_backend_capability(scheme, active):
+    _cloud, service = make_service(user_store=scheme,
+                                   ephemeral_ttl_enabled=True)
+    assert service.ephemeral_ttl_active is active
+
+
+def test_ttl_off_by_default():
+    _cloud, service = make_service(user_store="dynamodb")
+    assert service.ephemeral_ttl_active is False
+
+
+# ------------------------------------------------------------- end-to-end
+def test_dead_session_is_evicted_via_ttl_and_ephemerals_released():
+    cloud, service = make_service(user_store="mem",
+                                  ephemeral_ttl_enabled=True)
+    dead = service.connect()
+    alive = service.connect()
+    dead.create("/e", ephemeral=True)
+    dead.create("/keep")
+    dead.alive = False
+    cloud.run(until=cloud.now + 6 * 60_000)
+    assert alive.exists("/e") is None, "ephemeral survived TTL eviction"
+    assert alive.exists("/keep") is not None
+    assert dead.state.value == "LOST" or dead.evicted
+    assert service.system_store.table("fk-system-sessions").raw(
+        dead.session_id) is None
+    assert int(service._ttl_evictions.value) >= 1
+    # The heartbeat's own evictor stayed out of it.
+    assert service.heartbeat_logic.evictions == 0
+
+
+def test_answering_session_is_refreshed_and_survives():
+    cloud, service = make_service(user_store="mem",
+                                  ephemeral_ttl_enabled=True)
+    c = service.connect()
+    c.create("/e", ephemeral=True)
+    cloud.run(until=cloud.now + 10 * 60_000)
+    assert c.exists("/e") is not None
+    assert int(service._ttl_evictions.value) == 0
+    item = service.system_store.table("fk-system-sessions").raw(c.session_id)
+    assert item is not None and item[TTL_ATTRIBUTE] > cloud.now
+
+
+def test_s3_fleet_falls_back_to_the_heartbeat_sweep():
+    cloud, service = make_service(user_store="s3",
+                                  ephemeral_ttl_enabled=True)
+    assert service.ephemeral_ttl_active is False
+    dead = service.connect()
+    alive = service.connect()
+    dead.create("/e", ephemeral=True)
+    dead.alive = False
+    cloud.run(until=cloud.now + 3 * 60_000)
+    assert alive.exists("/e") is None
+    assert service.heartbeat_logic.evictions >= 1  # the sweep, unchanged

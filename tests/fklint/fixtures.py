@@ -189,3 +189,22 @@ class FaaSKeeperConfig:
     documented_knob: int = 1
     _private_detail = object()
 """
+
+# --------------------------------------------------------------- FK007
+FK007_BAD = """\
+class StageLogic:
+    def handler(self, fctx, payload):
+        kv = self.service.cloud.kv("dynamodb:system")     # expect: FK007
+        obj = fctx.cloud.objectstore("s3")                # expect: FK007
+        cache = self.service.cloud.cache("redis")         # expect: FK007
+        yield from kv.put_item(fctx.ctx, "t", "k", {})
+"""
+
+FK007_GOOD = """\
+class StageLogic:
+    def handler(self, fctx, payload):
+        store = self.service.system_store
+        item = yield from store.get_item(fctx.ctx, "t", "k")
+        yield from self.service.user_store.write_node(
+            fctx.ctx, "us-east-1", "/a", item)
+"""

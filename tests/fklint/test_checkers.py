@@ -37,6 +37,8 @@ BAD_CASES = [
                  ["FK005"], None, id="FK005"),
     pytest.param(fixtures.FK006_BAD, f"{FAASKEEPER}/config.py",
                  ["FK006"], fixtures.FK006_README, id="FK006"),
+    pytest.param(fixtures.FK007_BAD, f"{FAASKEEPER}/heartbeat.py",
+                 ["FK007"], None, id="FK007"),
 ]
 
 GOOD_CASES = [
@@ -52,6 +54,8 @@ GOOD_CASES = [
                  ["FK005"], None, id="FK005"),
     pytest.param(fixtures.FK006_GOOD, f"{FAASKEEPER}/config.py",
                  ["FK006"], fixtures.FK006_README, id="FK006"),
+    pytest.param(fixtures.FK007_GOOD, f"{FAASKEEPER}/heartbeat.py",
+                 ["FK007"], None, id="FK007"),
 ]
 
 
@@ -85,6 +89,14 @@ def test_fk006_readme_check_skipped_without_readme_text():
                     ["FK006"], readme_text=None)
     # Structural findings (missing default, missing annotation) remain.
     assert results == [("FK006", 4), ("FK006", 5)]
+
+
+def test_fk007_only_applies_to_handler_modules():
+    # Backends and the deployment wiring own the raw clients by design.
+    assert found(fixtures.FK007_BAD, "src/repro/faaskeeper/userstore.py",
+                 ["FK007"]) == []
+    assert found(fixtures.FK007_BAD, "src/repro/faaskeeper/service.py",
+                 ["FK007"]) == []
 
 
 def test_fk001_seeded_random_is_allowed():
