@@ -239,9 +239,16 @@ class FunctionRuntime:
         return fn.invoke(payload, invoke_latency_ms=latency)
 
     def schedule(self, fn: DeployedFunction, period_ms: float,
-                 payload_factory: Callable[[], Any] = lambda: None) -> "ScheduledTask":
-        """Scheduled-function trigger: invoke every ``period_ms``."""
-        task = ScheduledTask(self, fn, period_ms, payload_factory)
+                 payload_factory: Callable[[], Any] = lambda: None,
+                 offset_ms: float = 0.0) -> "ScheduledTask":
+        """Scheduled-function trigger: invoke every ``period_ms``.
+
+        ``offset_ms`` phase-shifts the cron (first firing at
+        ``offset + period``): a fleet of partitioned sweeps staggers its
+        members so they do not all land on the table's capacity bucket in
+        the same instant.  The default of 0 is the historical schedule.
+        """
+        task = ScheduledTask(self, fn, period_ms, payload_factory, offset_ms)
         task.start()
         return task
 
@@ -250,11 +257,13 @@ class ScheduledTask:
     """Cron-style periodic invocation of a function."""
 
     def __init__(self, runtime: FunctionRuntime, fn: DeployedFunction,
-                 period_ms: float, payload_factory: Callable[[], Any]) -> None:
+                 period_ms: float, payload_factory: Callable[[], Any],
+                 offset_ms: float = 0.0) -> None:
         self.runtime = runtime
         self.fn = fn
         self.period_ms = period_ms
         self.payload_factory = payload_factory
+        self.offset_ms = offset_ms
         self.enabled = False
         self.fired = 0
         self._proc = None
@@ -271,6 +280,12 @@ class ScheduledTask:
 
     def _loop(self):
         env = self.runtime.env
+        if self.offset_ms:
+            # Strictly positive only: a zero-delay timeout would still
+            # occupy an event-queue slot and perturb offset-free schedules.
+            yield env.timeout(self.offset_ms)
+            if not self.enabled:
+                return
         while self.enabled:
             yield env.timeout(self.period_ms)
             if not self.enabled:

@@ -21,6 +21,7 @@ interleave exactly as a remote store would interleave their requests.
 from __future__ import annotations
 
 import copy
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
@@ -40,7 +41,19 @@ from .expressions import (
 from .faults import FaultInjector, draw_fault
 from .pricing import CostMeter
 
-__all__ = ["KeyValueStore", "Table", "StreamRecord", "TTL_ATTRIBUTE"]
+__all__ = ["KeyValueStore", "Table", "StreamRecord", "TTL_ATTRIBUTE",
+           "scan_segment_of"]
+
+
+def scan_segment_of(key: str, total_segments: int) -> int:
+    """Parallel-scan segment owning ``key``: ``crc32`` so the mapping is
+    stable across processes (the builtin ``hash`` is salted per run).
+    :func:`repro.faaskeeper.layout.session_shard_of` mirrors this formula —
+    a sweep shard scanning segment *i* sees exactly the sessions that hash
+    to shard *i*."""
+    if total_segments <= 1:
+        return 0
+    return zlib.crc32(key.encode()) % total_segments
 
 #: Reserved item attribute holding the expiry instant (virtual-clock ms).
 #: Items carrying it are lazily expired by the table — DynamoDB-style
@@ -500,18 +513,95 @@ class KeyValueStore:
         self,
         ctx: OpContext,
         table_name: str,
+        segment: Optional[int] = None,
+        total_segments: Optional[int] = None,
     ) -> Generator[Event, Any, Dict[str, Dict[str, Any]]]:
-        """Full-table scan: bills one read per 4 kB of total data."""
+        """Full-table scan: bills one read per 4 kB of total data.
+
+        ``segment``/``total_segments`` select one slice of a DynamoDB-style
+        parallel scan: only keys with ``scan_segment_of(key) == segment``
+        are read, and latency, capacity units and billing cover the slice —
+        that proportionality is what makes partitioned sweeps cheaper than
+        N full scans.  ``total_segments`` of ``None``/1 is the plain scan,
+        byte-for-byte as before.
+        """
         table = self.table(table_name)
+        segmented = total_segments is not None and total_segments > 1
+        if segmented and (segment is None or not 0 <= segment < total_segments):
+            raise ValueError(
+                f"scan segment must be in [0, {total_segments}), got {segment}")
         fault = draw_fault(self.faults, "scan", mutating=False)
         if fault is not None:
             yield from self.faults.fire_before(fault, f"scan {table_name}")
         table.expire_due(self.env.now)
-        total_kb = sum(item_size_kb(rec.value) for rec in table._items.values())
+        if segmented:
+            selected = [k for k in table._items
+                        if scan_segment_of(k, total_segments) == segment]
+            total_kb = sum(item_size_kb(table._items[k].value)
+                           for k in selected)
+        else:
+            selected = None
+            total_kb = sum(item_size_kb(rec.value)
+                           for rec in table._items.values())
         wait = self._admit(table, max(1.0, total_kb / 4.0))
         latency = self._latency(ctx, self.profile.kv_read, total_kb)
         yield self.env.timeout(wait + latency)
         table.expire_due(self.env.now)
         table.read_count += 1
         self._charge_read(ctx, max(total_kb, 1.0), consistent=True)
-        return {k: copy.deepcopy(rec.value) for k, rec in table._items.items()}
+        if selected is None:
+            return {k: copy.deepcopy(rec.value)
+                    for k, rec in table._items.items()}
+        # Items expired/deleted while the request was in flight drop out,
+        # exactly as the full scan re-reads the table after the delay.
+        return {k: copy.deepcopy(table._items[k].value)
+                for k in selected if k in table._items}
+
+    def batch_put(
+        self,
+        ctx: OpContext,
+        table_name: str,
+        items: Dict[str, Dict[str, Any]],
+        token: Optional[str] = None,
+    ) -> Generator[Event, Any, None]:
+        """Batch full-item write (DynamoDB ``BatchWriteItem``): one round
+        trip's latency for the whole batch, per-item billing, capacity and
+        stream emission.  Unconditional puts only — the batched
+        session-registration path; conditional writes take ``put_item``.
+        """
+        if not items:
+            return None
+        if sanitize.enabled():
+            for key in items:
+                sanitize.check_mutation("put_item", table_name, key,
+                                        condition=None)
+        table = self.table(table_name)
+        fault = draw_fault(self.faults, "batch_put", mutating=True)
+        if fault is not None:
+            first = next(iter(items))
+            yield from self.faults.fire_before(
+                fault, f"batch_put {table_name}/{first}")
+        total_kb = 0.0
+        for attributes in items.values():
+            size_kb = item_size_kb(attributes)
+            if size_kb > self.profile.kv_item_limit_kb:
+                raise ItemTooLarge(
+                    f"{size_kb:.1f} kB > {self.profile.kv_item_limit_kb} kB")
+            total_kb += size_kb
+        wait = self._admit(table, float(len(items)))
+        latency = self._latency(ctx, self.profile.kv_write, total_kb)
+        yield self.env.timeout(wait + latency)
+        table.write_count += len(items)
+        for attributes in items.values():
+            self._charge_write(ctx, max(item_size_kb(attributes), 0.001))
+        if token is not None and token in self._token_results:
+            return None  # replay of an applied batch: nothing to redo
+        table.expire_due(self.env.now)
+        for key, attributes in items.items():
+            table._store(key, copy.deepcopy(attributes))
+        if token is not None:
+            self._token_results[token] = None
+        if fault is not None:
+            first = next(iter(items))
+            self.faults.fire_after(fault, f"batch_put {table_name}/{first}")
+        return None

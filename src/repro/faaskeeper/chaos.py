@@ -43,7 +43,6 @@ from .layout import (
     SYSTEM_NODES,
     SYSTEM_SESSIONS,
     SYSTEM_STATE,
-    SYSTEM_WATCHES,
     epoch_key,
 )
 from .service import FaaSKeeperService
@@ -189,7 +188,8 @@ def wipe_system_tables(service: FaaSKeeperService) -> None:
     exactly as a multi-region deployment losing its system region's
     tables but not its replicated log would."""
     store = service.system_store
-    for table in (SYSTEM_NODES, SYSTEM_WATCHES, SYSTEM_SESSIONS):
+    tables = [SYSTEM_NODES, *service.watch_registry.tables, SYSTEM_SESSIONS]
+    for table in tables:
         store.table(table)._items.clear()
 
 

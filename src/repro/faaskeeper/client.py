@@ -296,6 +296,9 @@ class FaaSKeeperClient:
         self.ctx = OpContext(region=region)
         self.alive = True          # heartbeat answers (tests flip this)
         self.closed = False
+        #: Virtual instant the session closed (client close or eviction) —
+        #: the swarm harness derives eviction lag from it.
+        self.closed_at: Optional[float] = None
         self.mrd = 0               # most-recently-delivered txid
 
         self._rid = 0
@@ -375,6 +378,7 @@ class FaaSKeeperClient:
 
     def _mark_closed(self, evicted: bool = False) -> None:
         self.closed = True
+        self.closed_at = self.env.now
         if evicted:
             self.evicted = True
         if self._cache is not None:

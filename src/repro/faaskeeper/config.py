@@ -39,6 +39,14 @@ class FaaSKeeperConfig:
     regions: List[str] = field(default_factory=lambda: ["us-east-1"])
     heartbeat_period_ms: float = 60_000.0  # highest AWS cron frequency (5.3.3)
     gc_period_ms: float = 300_000.0        # garbage-collection sweep (extension)
+    #: Session-plane shards: partitions the heartbeat/eviction sweep (each
+    #: of N scheduled sweep functions scans one hash slice of the session
+    #: table, ephemeral-first ordering preserved per shard) and the watch
+    #: registry (N path-hashed watch tables, the guarded-removal protocol
+    #: carried across the partition boundary).  1 (the default) reproduces
+    #: the flat plane — one sweep over one session table, one watch table —
+    #: bit-for-bit.
+    session_plane_shards: int = 1
     session_timeout_ms: float = 10_000.0
     lock_max_hold_ms: float = 2_000.0
     max_node_size_kb: float = 250.0       # queue payload bound (Section 4.4)
@@ -160,6 +168,12 @@ class FaaSKeeperConfig:
     #: How long (virtual ms) an OPEN breaker sheds before letting one
     #: HALF_OPEN probe through.
     storage_breaker_cooldown_ms: float = 10_000.0
+    #: Minimum spacing (virtual ms) between HALF_OPEN probes while a
+    #: breaker heals: under a sustained brown-out every cooldown expiry
+    #: would otherwise admit a probe that fails and re-opens the breaker,
+    #: hammering the sick store once per cooldown from every caller.
+    #: 0 (the default) keeps the legacy one-probe-per-cooldown behaviour.
+    storage_breaker_probe_interval_ms: float = 0.0
     #: Seeded transient-fault injection on every storage service the
     #: deployment owns (throttle / timeout / connection reset / partial
     #: write).  ``None`` (the default) means off — unless the
@@ -187,13 +201,22 @@ class FaaSKeeperConfig:
     def __post_init__(self) -> None:
         scheme = str(self.user_store).split("://", 1)[0]
         if scheme not in UserStoreKind.ALL and scheme not in UserStoreKind.ALIASES:
-            raise ValueError(f"unknown user store {self.user_store!r}")
+            # Third-party backends register under the `faaskeeper.backends`
+            # entry-point group; consult the registry lazily (the import is
+            # deferred — userstore imports this module at load time).
+            from .userstore import is_registered_scheme
+            if not is_registered_scheme(scheme):
+                raise ValueError(f"unknown user store {self.user_store!r}")
         if not self.regions:
             raise ValueError("need at least one region")
         if self.arch not in ("x86", "arm"):
             raise ValueError(f"unknown arch {self.arch!r}")
         if self.leader_shards < 1:
             raise ValueError(f"leader_shards must be >= 1, got {self.leader_shards}")
+        if self.session_plane_shards < 1:
+            raise ValueError(
+                f"session_plane_shards must be >= 1, "
+                f"got {self.session_plane_shards}")
         if self.client_cache_entries < 0:
             raise ValueError(
                 f"client_cache_entries must be >= 0, got {self.client_cache_entries}")
@@ -265,6 +288,10 @@ class FaaSKeeperConfig:
             raise ValueError(
                 f"storage_breaker_cooldown_ms must be >= 0, "
                 f"got {self.storage_breaker_cooldown_ms}")
+        if self.storage_breaker_probe_interval_ms < 0:
+            raise ValueError(
+                f"storage_breaker_probe_interval_ms must be >= 0, "
+                f"got {self.storage_breaker_probe_interval_ms}")
         if self.storage_faults is None:
             # CI override: one leg runs the whole tier-1 suite with a
             # seeded fault schedule armed (mirrors FK_FORCE_OUTBOX).

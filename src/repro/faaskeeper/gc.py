@@ -24,7 +24,7 @@ from typing import Any, Dict, Generator
 
 from ..cloud.errors import ConditionFailed
 from ..cloud.expressions import Attr
-from .layout import SYSTEM_NODES, SYSTEM_SESSIONS, SYSTEM_WATCHES
+from .layout import SYSTEM_NODES, SYSTEM_SESSIONS
 
 __all__ = ["GarbageCollectorLogic"]
 
@@ -114,7 +114,13 @@ class GarbageCollectorLogic:
         store = self.service.system_store
         sessions = yield from store.scan(fctx.ctx, SYSTEM_SESSIONS)
         live = set(sessions.keys())
-        watch_items = yield from store.scan(fctx.ctx, SYSTEM_WATCHES)
+        # One scan per watch shard table (a single table when the session
+        # plane is flat); each path's removal routes back through the
+        # registry, which owns the table mapping.
+        watch_items: Dict[str, Any] = {}
+        for table_name in self.service.watch_registry.tables:
+            shard_items = yield from store.scan(fctx.ctx, table_name)
+            watch_items.update(shard_items)
         for path, item in watch_items.items():
             for wtype, inst in (item.get("inst") or {}).items():
                 alive = [s for s in inst.get("sessions", []) if s in live]

@@ -16,6 +16,13 @@ pinged — and therefore evicted — first, preserving the original eviction
 ordering.
 
 The function also doubles as the "system is online" signal for clients.
+
+With ``session_plane_shards > 1`` the sweep is partitioned: N scheduled
+sweep functions each scan one hash slice of the session table (a
+DynamoDB-style parallel-scan segment), so sweep latency stays flat as the
+session count grows.  Ephemeral-first eviction ordering is preserved *per
+shard* — the global order was never load-bearing across unrelated
+sessions, only among the sessions one sweep evicts together.
 """
 
 from __future__ import annotations
@@ -32,10 +39,19 @@ __all__ = ["HeartbeatLogic"]
 
 
 class HeartbeatLogic:
-    """Behaviour of the heartbeat function, bound to one deployment."""
+    """Behaviour of one heartbeat sweep function, bound to one deployment.
 
-    def __init__(self, service) -> None:
+    ``shard``/``shards`` select the hash slice of the session table this
+    instance owns; the default (0 of 1) is the flat full-table sweep.  The
+    aggregate counters are shared across every shard's instance (the
+    registry returns the same child), so ``evictions`` etc. stay
+    deployment-wide.
+    """
+
+    def __init__(self, service, shard: int = 0, shards: int = 1) -> None:
         self.service = service
+        self.shard = shard
+        self.shards = shards
         self._sweeps = service.metrics.counter(
             "fk_heartbeat_sweeps_total", "Heartbeat scan/ping rounds")
         self._checked = service.metrics.counter(
@@ -43,6 +59,9 @@ class HeartbeatLogic:
         self._evictions = service.metrics.counter(
             "fk_heartbeat_evictions_total",
             "Sessions evicted for missing the ping deadline")
+        self._shard_sweeps = service.metrics.counter(
+            "fk_heartbeat_shard_sweeps_total",
+            "Heartbeat sweeps per session-plane shard", ("shard",))
 
     @property
     def evictions(self) -> int:
@@ -52,8 +71,13 @@ class HeartbeatLogic:
     def handler(self, fctx, payload: Any) -> Generator:
         env = fctx.env
         t0 = env.now
-        sessions = yield from self.service.system_store.scan(
-            fctx.ctx, SYSTEM_SESSIONS)
+        if self.shards > 1:
+            sessions = yield from self.service.system_store.scan(
+                fctx.ctx, SYSTEM_SESSIONS,
+                segment=self.shard, total_segments=self.shards)
+        else:
+            sessions = yield from self.service.system_store.scan(
+                fctx.ctx, SYSTEM_SESSIONS)
         fctx.record("scan", env.now - t0)
 
         # Ping every scanned session in parallel, ephemeral owners first
@@ -77,6 +101,7 @@ class HeartbeatLogic:
         fctx.record("ping", env.now - t0)
 
         self._sweeps.inc()
+        self._shard_sweeps.labels(shard=str(self.shard)).inc()
         self._checked.inc(len(to_check))
         expired = [sid for sid in to_check if not results.get(sid, False)]
         if self.service.ephemeral_ttl_active:

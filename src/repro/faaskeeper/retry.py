@@ -87,15 +87,27 @@ class CircuitBreaker:
     """
 
     def __init__(self, env, threshold: int, cooldown_ms: float,
-                 on_transition: Optional[Callable[[str], None]] = None) -> None:
+                 on_transition: Optional[Callable[[str], None]] = None,
+                 probe_interval_ms: float = 0.0) -> None:
         self.env = env
         self.threshold = threshold
         self.cooldown_ms = cooldown_ms
         self.on_transition = on_transition
+        #: Minimum spacing between HALF_OPEN probes.  0 = a probe whenever
+        #: the cooldown allows (the legacy behaviour): under a sustained
+        #: brown-out that re-probes — and re-fails, and re-opens — once per
+        #: cooldown *per caller*; a positive interval caps the aggregate
+        #: probe rate against the sick endpoint.
+        self.probe_interval_ms = probe_interval_ms
         self.state = BREAKER_CLOSED
         self.failures = 0
         self.opened_at = 0.0
         self._probing = False
+        #: Virtual instant of the last admitted probe, and the total count
+        #: (mirrored into ``fk_storage_breaker_probes_total`` by the
+        #: retrier).
+        self.last_probe_at: Optional[float] = None
+        self.probes = 0
 
     def _set_state(self, state: str) -> None:
         if state == self.state:
@@ -104,22 +116,35 @@ class CircuitBreaker:
         if self.on_transition is not None:
             self.on_transition(state)
 
+    def _probe_due(self) -> bool:
+        if self.probe_interval_ms <= 0 or self.last_probe_at is None:
+            return True
+        return self.env.now - self.last_probe_at >= self.probe_interval_ms
+
+    def _admit_probe(self) -> None:
+        self._probing = True
+        self.last_probe_at = self.env.now
+        self.probes += 1
+
     # ------------------------------------------------------------ protocol
     def allow(self) -> bool:
         """May a request go out now?  OPEN sheds until the cooldown has
-        elapsed, then admits exactly one HALF_OPEN probe at a time."""
+        elapsed, then admits HALF_OPEN probes one at a time, spaced at
+        least ``probe_interval_ms`` apart."""
         if self.state == BREAKER_CLOSED:
             return True
         if self.state == BREAKER_OPEN:
             if self.env.now - self.opened_at < self.cooldown_ms:
                 return False
+            if not self._probe_due():
+                return False
             self._set_state(BREAKER_HALF_OPEN)
-            self._probing = True
+            self._admit_probe()
             return True
-        # HALF_OPEN: one probe in flight at a time.
-        if self._probing:
+        # HALF_OPEN: one probe in flight at a time, rate-capped.
+        if self._probing or not self._probe_due():
             return False
-        self._probing = True
+        self._admit_probe()
         return True
 
     def record_success(self) -> None:
@@ -144,7 +169,8 @@ class _Retrier:
 
     def __init__(self, label: str, env, rng_factory, policy: RetryPolicy,
                  breaker_threshold: int, breaker_cooldown_ms: float,
-                 metrics, on_breaker_transition=None) -> None:
+                 metrics, on_breaker_transition=None,
+                 breaker_probe_interval_ms: float = 0.0) -> None:
         self.label = label
         self.env = env
         self._rng_factory = rng_factory
@@ -152,6 +178,7 @@ class _Retrier:
         self.policy = policy
         self._breaker_threshold = breaker_threshold
         self._breaker_cooldown_ms = breaker_cooldown_ms
+        self._breaker_probe_interval_ms = breaker_probe_interval_ms
         self._on_breaker_transition = on_breaker_transition
         self.breakers: Dict[str, CircuitBreaker] = {}
         self._tokens = itertools.count(1)
@@ -180,6 +207,10 @@ class _Retrier:
             "fk_storage_breaker_transitions_total",
             "Circuit breaker state changes",
             ("store", "region", "to"))
+        self._breaker_probes = m.counter(
+            "fk_storage_breaker_probes_total",
+            "HALF_OPEN probe requests admitted by a healing breaker",
+            ("store", "region"))
 
     # ------------------------------------------------------------ plumbing
     def breaker(self, region: str) -> CircuitBreaker:
@@ -195,7 +226,8 @@ class _Retrier:
 
             breaker = CircuitBreaker(
                 self.env, self._breaker_threshold,
-                self._breaker_cooldown_ms, on_transition)
+                self._breaker_cooldown_ms, on_transition,
+                probe_interval_ms=self._breaker_probe_interval_ms)
             self.breakers[region] = breaker
         return breaker
 
@@ -228,6 +260,9 @@ class _Retrier:
                 self._shed.labels(store=self.label, op=op).inc()
                 raise StorageUnavailable(
                     f"{self.label}@{region}: circuit open, shedding {op}")
+            if breaker.state == BREAKER_HALF_OPEN:
+                self._breaker_probes.labels(
+                    store=self.label, region=region).inc()
             attempt += 1
             try:
                 result = yield from make_attempt(token)
@@ -261,11 +296,13 @@ class RetryingKeyValueStore:
     def __init__(self, inner, env, rng_factory, policy: RetryPolicy,
                  breaker_threshold: int, breaker_cooldown_ms: float,
                  metrics, on_breaker_transition=None,
-                 label: str = "system") -> None:
+                 label: str = "system",
+                 breaker_probe_interval_ms: float = 0.0) -> None:
         self._inner = inner
         self._retrier = _Retrier(label, env, rng_factory, policy,
                                  breaker_threshold, breaker_cooldown_ms,
-                                 metrics, on_breaker_transition)
+                                 metrics, on_breaker_transition,
+                                 breaker_probe_interval_ms)
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self._inner, name)
@@ -281,10 +318,10 @@ class RetryingKeyValueStore:
             lambda _token: self._inner.get_item(ctx, table_name, key, **kwargs),
             mutating=False)
 
-    def scan(self, ctx, table_name):
+    def scan(self, ctx, table_name, **kwargs):
         return self._retrier.run(
             "scan", self._inner.region,
-            lambda _token: self._inner.scan(ctx, table_name),
+            lambda _token: self._inner.scan(ctx, table_name, **kwargs),
             mutating=False)
 
     # ------------------------------------------------------------ mutators
@@ -309,6 +346,13 @@ class RetryingKeyValueStore:
                 ctx, table_name, key, token=token, **kwargs),
             mutating=True)
 
+    def batch_put(self, ctx, table_name, items):
+        return self._retrier.run(
+            "batch_put", self._inner.region,
+            lambda token: self._inner.batch_put(
+                ctx, table_name, items, token=token),
+            mutating=True)
+
     def transact_update(self, ctx, ops):
         return self._retrier.run(
             "transact_update", self._inner.region,
@@ -330,11 +374,13 @@ class RetryingUserStore:
     def __init__(self, inner, env, rng_factory, policy: RetryPolicy,
                  breaker_threshold: int, breaker_cooldown_ms: float,
                  metrics, on_breaker_transition=None,
-                 label: str = "user") -> None:
+                 label: str = "user",
+                 breaker_probe_interval_ms: float = 0.0) -> None:
         self._inner = inner
         self._retrier = _Retrier(label, env, rng_factory, policy,
                                  breaker_threshold, breaker_cooldown_ms,
-                                 metrics, on_breaker_transition)
+                                 metrics, on_breaker_transition,
+                                 breaker_probe_interval_ms)
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self._inner, name)

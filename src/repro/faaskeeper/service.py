@@ -48,6 +48,7 @@ from .layout import (
     replicated_key,
     shard_of_path,
     user_image_from_system,
+    watch_shard_table,
 )
 from .leader import LeaderLogic
 from .metrics import MetricsRegistry
@@ -153,15 +154,21 @@ class FaaSKeeperService:
                 retry_policy, config.storage_breaker_threshold,
                 config.storage_breaker_cooldown_ms, self.metrics,
                 on_breaker_transition=self._on_breaker_transition,
-                label="system")
+                label="system",
+                breaker_probe_interval_ms=config.storage_breaker_probe_interval_ms)
         for table in (SYSTEM_NODES, SYSTEM_STATE, SYSTEM_SESSIONS, SYSTEM_WATCHES):
             self.system_store.create_table(table)
+        # Extra watch shard tables (session_plane_shards > 1): shard 0 is
+        # SYSTEM_WATCHES itself, so the flat plane creates nothing new.
+        for plane_shard in range(1, config.session_plane_shards):
+            self.system_store.create_table(watch_shard_table(plane_shard))
         self.node_lock = TimedLock(self.system_store, SYSTEM_NODES,
                                    max_hold_ms=config.lock_max_hold_ms)
         self.epoch_ledger = EpochLedger(self.system_store, SYSTEM_STATE,
                                         config.regions)
         self.epoch_lists = self.epoch_ledger.lists  # legacy alias
-        self.watch_registry = WatchRegistry(self.system_store)
+        self.watch_registry = WatchRegistry(self.system_store,
+                                            shards=config.session_plane_shards)
 
         # --- user storage ---------------------------------------------------
         from .userstore import make_user_store
@@ -177,7 +184,8 @@ class FaaSKeeperService:
                 retry_policy, config.storage_breaker_threshold,
                 config.storage_breaker_cooldown_ms, self.metrics,
                 on_breaker_transition=self._on_breaker_transition,
-                label="user")
+                label="user",
+                breaker_probe_interval_ms=config.storage_breaker_probe_interval_ms)
         #: Fault injectors armed on this deployment (empty = clean run).
         self.storage_injectors: List[Any] = []
         if config.storage_faults:
@@ -207,7 +215,11 @@ class FaaSKeeperService:
         self.leader_logics = [LeaderLogic(self, shard=i)
                               for i in range(num_shards)]
         self.watch_logic = WatchFanoutLogic(self)
-        self.heartbeat_logic = HeartbeatLogic(self)
+        plane_shards = config.session_plane_shards
+        self.heartbeat_logics = [
+            HeartbeatLogic(self, shard=i, shards=plane_shards)
+            for i in range(plane_shards)
+        ]
         self.gc_logic = GarbageCollectorLogic(self)
 
         fn_kwargs = dict(memory_mb=config.function_memory_mb, arch=config.arch,
@@ -225,8 +237,15 @@ class FaaSKeeperService:
         ]
         self.watch_fn = cloud.deploy_function(
             "fk-watch", self.watch_logic.handler, **fn_kwargs)
-        self.heartbeat_fn = cloud.deploy_function(
-            "fk-heartbeat", self.heartbeat_logic.handler, **fn_kwargs)
+        # One sweep function per session-plane shard; shard 0 keeps the
+        # historical name (the fk-leader precedent), so the flat plane's
+        # RNG streams and cost labels are unchanged.
+        self.heartbeat_fns = [
+            cloud.deploy_function(
+                "fk-heartbeat" if i == 0 else f"fk-heartbeat-{i}",
+                logic.handler, **fn_kwargs)
+            for i, logic in enumerate(self.heartbeat_logics)
+        ]
         self.gc_fn = cloud.deploy_function(
             "fk-gc", self.gc_logic.handler, **fn_kwargs)
 
@@ -280,9 +299,18 @@ class FaaSKeeperService:
                 self.outbox.fn, period_ms=config.outbox_publish_ms)
             self.outbox_task.stop()  # scale-to-zero, like the heartbeat
 
-        self.heartbeat_task = cloud.runtime.schedule(
-            self.heartbeat_fn, period_ms=config.heartbeat_period_ms)
-        self.heartbeat_task.stop()  # scale-to-zero until a client connects
+        self.heartbeat_tasks = []
+        for i, fn in enumerate(self.heartbeat_fns):
+            # Shard sweeps are phase-staggered across the period so they do
+            # not all hit the session table's capacity bucket at once;
+            # shard 0 keeps offset 0, so the flat plane's schedule (and its
+            # fingerprint) is untouched.
+            task = cloud.runtime.schedule(
+                fn, period_ms=config.heartbeat_period_ms,
+                offset_ms=(i * config.heartbeat_period_ms
+                           / len(self.heartbeat_fns)))
+            task.stop()  # scale-to-zero until a client connects
+            self.heartbeat_tasks.append(task)
         self.gc_task = cloud.runtime.schedule(
             self.gc_fn, period_ms=config.gc_period_ms)
         self.gc_task.stop()
@@ -386,6 +414,19 @@ class FaaSKeeperService:
     def leader_fn(self):
         return self.leader_fns[0]
 
+    # Flat-session-plane aliases (shard 0), same convention.
+    @property
+    def heartbeat_logic(self) -> HeartbeatLogic:
+        return self.heartbeat_logics[0]
+
+    @property
+    def heartbeat_fn(self):
+        return self.heartbeat_fns[0]
+
+    @property
+    def heartbeat_task(self):
+        return self.heartbeat_tasks[0]
+
     @property
     def leader_queue(self):
         return self.leader_queues[0]
@@ -488,13 +529,75 @@ class FaaSKeeperService:
         client = FaaSKeeperClient(self, session_id, region, queue)
         self.clients[session_id] = client
         if self.active_sessions == 1:
-            self.heartbeat_task.start()
-            self.gc_task.start()
-            if self.snapshot_task is not None:
-                self.snapshot_task.start()
-            if self.outbox_task is not None:
-                self.outbox_task.start()
+            self._start_scheduled_tasks()
         return client
+
+    def connect_many(self, count: int, region: Optional[str] = None,
+                     batch_size: int = 25) -> List[FaaSKeeperClient]:
+        """Open ``count`` sessions with batched registration.
+
+        Each session still gets its own FIFO queue and client, but the
+        session records land in ``BatchWriteItem`` chunks of ``batch_size``
+        — one round trip per chunk instead of one per session, the
+        difference between registering 100k sessions in seconds versus
+        minutes of virtual time.  The call pumps the event loop until every
+        batch write has landed (the same synchronous contract as
+        :meth:`connect`, whose single put is awaited by the first client
+        op), so callers can clock registration throughput off it directly.
+        """
+        if count <= 0:
+            return []
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        region = region or self.config.primary_region
+        ctx = OpContext(region=region)
+        was_idle = self.active_sessions == 0
+        clients: List[FaaSKeeperClient] = []
+        pending: Dict[str, Dict[str, Any]] = {}
+        writes = []
+        for _ in range(count):
+            session_id = f"s{next(self._session_ids)}"
+            queue = self.cloud.fifo_queue(
+                f"fk-session-{session_id}", label="sqs",
+                max_receive=self.config.follower_max_receive)
+            queue.attach(self.follower_fn,
+                         batch_limit=self.config.follower_batch)
+            self._session_queues[session_id] = queue
+            session_item = {"ephemeral": [], "region": region, "last_rid": 0}
+            if self.ephemeral_ttl_active:
+                session_item[TTL_ATTRIBUTE] = (
+                    self.cloud.env.now
+                    + self.config.effective_ephemeral_ttl_ms)
+            pending[session_id] = session_item
+            client = FaaSKeeperClient(self, session_id, region, queue)
+            self.clients[session_id] = client
+            clients.append(client)
+            if len(pending) >= batch_size:
+                writes.append(self.cloud.env.process(
+                    self.system_store.batch_put(
+                        ctx, SYSTEM_SESSIONS, dict(pending)),
+                    name="connect-many"))
+                pending.clear()
+        if pending:
+            writes.append(self.cloud.env.process(
+                self.system_store.batch_put(
+                    ctx, SYSTEM_SESSIONS, dict(pending)),
+                name="connect-many"))
+        if was_idle and self.active_sessions > 0:
+            self._start_scheduled_tasks()
+        if writes:
+            from ..sim.kernel import AllOf
+            self.cloud.env.run(until=AllOf(self.cloud.env, writes))
+        return clients
+
+    def _start_scheduled_tasks(self) -> None:
+        for task in self.heartbeat_tasks:
+            task.start()
+        self.gc_task.start()
+        if self.snapshot_task is not None:
+            self.snapshot_task.start()
+        if self.outbox_task is not None:
+            self.outbox_task.start()
 
     def on_session_closed(self, session_id: str, evicted: bool = False) -> None:
         client = self.clients.get(session_id)
@@ -506,7 +609,8 @@ class FaaSKeeperService:
         if self.active_sessions == 0:
             # Scale-to-zero: with no clients there is nothing to monitor and
             # the only remaining charges are storage retention (Section 5.3.4).
-            self.heartbeat_task.stop()
+            for task in self.heartbeat_tasks:
+                task.stop()
             self.gc_task.stop()
             if self.snapshot_task is not None:
                 self.snapshot_task.stop()
@@ -630,7 +734,7 @@ class FaaSKeeperService:
         collector, so there is no double bookkeeping."""
         m = self.metrics
         functions = [self.follower_fn, *self.leader_fns, self.watch_fn,
-                     self.heartbeat_fn, self.gc_fn]
+                     *self.heartbeat_fns, self.gc_fn]
         if self.snapshot_fn is not None:
             functions.append(self.snapshot_fn)
         if self.distribution is not None:
@@ -694,7 +798,8 @@ class FaaSKeeperService:
         cost.labels(category="watch").set_function(
             lambda: by().get("fn:fk-watch", 0.0))
         cost.labels(category="heartbeat").set_function(
-            lambda: by().get("fn:fk-heartbeat", 0.0))
+            lambda: sum(v for k, v in by().items()
+                        if k.startswith("fn:fk-heartbeat")))
 
     def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
         """The whole registry as one stable, JSON-able dict."""

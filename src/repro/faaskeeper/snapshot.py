@@ -56,7 +56,6 @@ from .layout import (
     SYSTEM_SESSIONS,
     SYSTEM_SNAPSHOT,
     SYSTEM_STATE,
-    SYSTEM_WATCHES,
     log_key,
     new_system_node,
     replicated_key,
@@ -223,6 +222,17 @@ class SnapshotManager:
         self._floor.set(floor)
         return floor
 
+    def _watch_checkpoints(self) -> List[Tuple[str, str]]:
+        """(table, checkpoint key) per watch shard.  Shard 0 keeps the
+        flat-plane key ``sys:watches`` so old snapshots stay readable;
+        extra shards checkpoint under ``sys:watches:<i>``."""
+        out: List[Tuple[str, str]] = []
+        for i, table in enumerate(self.service.watch_registry.tables):
+            key = SNAPSHOT_SYS_PREFIX + ("watches" if i == 0
+                                         else f"watches:{i}")
+            out.append((table, key))
+        return out
+
     def _checkpoint_system(self, ctx: OpContext, floor: int) -> Generator:
         """Checkpoint the coordination tables (watch instances, session
         records) alongside the node fold, under ``sys:``-prefixed keys that
@@ -233,7 +243,7 @@ class SnapshotManager:
         owner.  Fuzzy like the node fold: entries registered after the
         published floor are covered by the next snapshot."""
         store = self.service.system_store
-        for table, key in ((SYSTEM_WATCHES, SNAPSHOT_SYS_PREFIX + "watches"),
+        for table, key in (*self._watch_checkpoints(),
                            (SYSTEM_SESSIONS, SNAPSHOT_SYS_PREFIX + "sessions")):
             items = yield from store.scan(ctx, table)
             yield from store.put_item(
@@ -468,7 +478,7 @@ class SnapshotManager:
 
         watches = sessions = 0
         for table, key, counter in (
-                (SYSTEM_WATCHES, SNAPSHOT_SYS_PREFIX + "watches", "w"),
+                *[(t, k, "w") for t, k in self._watch_checkpoints()],
                 (SYSTEM_SESSIONS, SNAPSHOT_SYS_PREFIX + "sessions", "s")):
             saved = checkpoint.get(key) or {}
             for item_key in sorted(saved.get("items", {})):

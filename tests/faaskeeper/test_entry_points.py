@@ -1,0 +1,108 @@
+"""Third-party backend discovery through the ``faaskeeper.backends``
+entry-point group: a distribution that ships a UserStore subclass is
+resolvable by scheme without touching this repo, passes the shared
+conformance suite, and cannot perturb the built-in registry at import
+time (discovery is lazy, one-shot, and type-checked)."""
+
+import pytest
+
+from repro.faaskeeper import userstore
+from repro.faaskeeper.userstore import (
+    BACKEND_ENTRY_POINT_GROUP,
+    BACKEND_REGISTRY,
+    MemBackend,
+    backend_for,
+    is_registered_scheme,
+    load_entry_point_backends,
+    registered_schemes,
+)
+
+from . import test_storage_conformance as conformance
+
+
+class ToyBackend(MemBackend):
+    """What a third-party package would ship: a UserStore subclass
+    advertised under ``[project.entry-points."faaskeeper.backends"]``."""
+
+
+class FakeEntryPoint:
+    """Stand-in for ``importlib.metadata.EntryPoint`` — tests only need
+    ``name`` and ``load()``."""
+
+    def __init__(self, name, target):
+        self.name = name
+        self.group = BACKEND_ENTRY_POINT_GROUP
+        self._target = target
+        self.loads = 0
+
+    def load(self):
+        self.loads += 1
+        return self._target
+
+
+@pytest.fixture
+def toy_entry_point(monkeypatch):
+    """Fake an installed distribution advertising ``toy = ToyBackend``.
+
+    Resets the one-shot latch for the test and restores the registry on
+    teardown so the conformance suite's exact-schemes assertion (and any
+    later discovery) is untouched."""
+    ep = FakeEntryPoint("toy", ToyBackend)
+    monkeypatch.setattr(userstore, "_iter_backend_entry_points", lambda: [ep])
+    monkeypatch.setattr(userstore, "_ENTRY_POINTS_LOADED", False)
+    before = dict(BACKEND_REGISTRY)
+    yield ep
+    for scheme in list(BACKEND_REGISTRY):
+        if scheme not in before:
+            del BACKEND_REGISTRY[scheme]
+
+
+def test_entry_point_scheme_resolves(toy_entry_point):
+    assert is_registered_scheme("toy")
+    assert backend_for("toy") is ToyBackend
+    assert ToyBackend.scheme == "toy"
+    assert toy_entry_point.loads == 1
+
+
+def test_discovery_is_lazy_and_one_shot(toy_entry_point):
+    # Nothing loads until a registry miss asks for it...
+    assert toy_entry_point.loads == 0
+    assert backend_for("mem") is MemBackend      # hit: no discovery
+    assert toy_entry_point.loads == 0
+    assert load_entry_point_backends() == ["toy"]
+    # ...and the latch makes the second sweep a no-op.
+    assert load_entry_point_backends() == []
+    assert toy_entry_point.loads == 1
+
+
+def test_entry_point_backend_passes_conformance(toy_entry_point):
+    """The acceptance bar for a third-party scheme is the same shared
+    suite the built-ins face — run its core invariants against ``toy``."""
+    conformance.test_crud_roundtrip("toy")
+    conformance.test_read_returns_a_copy("toy")
+    conformance.test_update_metadata_preserves_data("toy")
+
+
+def test_entry_point_backend_deploys_through_config(toy_entry_point):
+    cloud, store = conformance.make_store("toy")
+    assert isinstance(store, ToyBackend)
+
+
+def test_non_userstore_entry_point_is_rejected(monkeypatch):
+    monkeypatch.setattr(userstore, "_iter_backend_entry_points",
+                        lambda: [FakeEntryPoint("bogus", dict)])
+    monkeypatch.setattr(userstore, "_ENTRY_POINTS_LOADED", False)
+    with pytest.raises(TypeError, match="UserStore subclass"):
+        load_entry_point_backends()
+    assert "bogus" not in BACKEND_REGISTRY
+
+
+def test_unknown_scheme_still_raises_after_discovery(toy_entry_point):
+    with pytest.raises(ValueError, match="registered"):
+        backend_for("cassandra")
+
+
+def test_toy_scheme_never_leaks_into_the_builtin_registry():
+    """Runs after the fixtured tests: teardown restored the registry, so
+    the conformance suite's exact-schemes gate still holds."""
+    assert registered_schemes() == ["dynamodb", "hybrid", "mem", "redis", "s3"]

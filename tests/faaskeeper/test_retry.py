@@ -47,14 +47,15 @@ class FakeEnv:
         self.now = 0.0
 
 
-def make_wrapped(policy=None, threshold=8, cooldown=10_000.0, seed=11):
+def make_wrapped(policy=None, threshold=8, cooldown=10_000.0, seed=11,
+                 probe_interval=0.0):
     cloud = Cloud.aws(seed=seed)
     kv = cloud.kv("dynamodb:test")
     kv.create_table("t")
     wrapped = RetryingKeyValueStore(
         kv, cloud.env, lambda: cloud.rng.stream("test-retry"),
         policy or RetryPolicy(), threshold, cooldown, MetricsRegistry(),
-        label="system")
+        label="system", breaker_probe_interval_ms=probe_interval)
     return cloud, kv, wrapped
 
 
@@ -116,6 +117,61 @@ def test_success_resets_the_consecutive_failure_count():
     for _ in range(2):
         breaker.record_failure()
     assert breaker.state == BREAKER_CLOSED    # never 3 *consecutive*
+
+
+def test_probe_interval_rate_limits_half_open_probes():
+    """During a brown-out (every probe fails) the cooldown alone lets the
+    breaker hammer the sick endpoint once per cooldown; the probe interval
+    must impose the slower of the two clocks."""
+    env = FakeEnv()
+    breaker = CircuitBreaker(env, threshold=1, cooldown_ms=100.0,
+                             probe_interval_ms=500.0)
+    breaker.record_failure()
+    env.now = 100.0
+    assert breaker.allow()                    # first probe rides cooldown
+    assert breaker.state == BREAKER_HALF_OPEN
+    assert breaker.probes == 1 and breaker.last_probe_at == 100.0
+    breaker.record_failure()                  # probe failed -> OPEN again
+    assert breaker.state == BREAKER_OPEN
+
+    env.now = 200.0                           # cooldown elapsed...
+    assert not breaker.allow()                # ...but probe not yet due
+    assert breaker.state == BREAKER_OPEN and breaker.probes == 1
+    env.now = 599.0
+    assert not breaker.allow()
+    env.now = 600.0                           # 100.0 + interval
+    assert breaker.allow()
+    assert breaker.probes == 2
+
+
+def test_probe_interval_spaces_probes_while_half_open():
+    env = FakeEnv()
+    breaker = CircuitBreaker(env, threshold=1, cooldown_ms=10.0,
+                             probe_interval_ms=300.0)
+    breaker.record_failure()
+    env.now = 10.0
+    assert breaker.allow()
+    breaker.record_success()                  # probe succeeded: CLOSED
+    assert breaker.state == BREAKER_CLOSED
+
+    breaker.record_failure()                  # relapse at t=10
+    env.now = 30.0                            # cooldown elapsed at t=20
+    assert not breaker.allow()                # but last probe was t=10
+    env.now = 310.0
+    assert breaker.allow() and breaker.probes == 2
+
+
+def test_probe_interval_zero_keeps_legacy_cadence():
+    """The default (0) must reproduce the historical one-probe-per-
+    cooldown behavior exactly — the knob is opt-in."""
+    env = FakeEnv()
+    breaker = CircuitBreaker(env, threshold=1, cooldown_ms=100.0)
+    breaker.record_failure()
+    for cycle in range(1, 4):
+        env.now = cycle * 100.0
+        assert breaker.allow()                # every cooldown admits
+        breaker.record_failure()
+    assert breaker.probes == 3
 
 
 # ------------------------------------------------------------- retry engine
@@ -256,6 +312,65 @@ def test_breaker_recovery_heals_instead_of_evicting():
     assert client.state == KeeperState.CONNECTED
     assert service.system_store.retrier.breakers[
         inner.region].state == BREAKER_CLOSED
+
+
+# ---------------------------------------------------------------- brown-out
+def _brownout_probe_count(probe_interval, seed=23):
+    """Seeded brown-out: a store that throttles every request for 5s of
+    virtual time while a caller keeps retrying.  Returns (probes counted
+    by the breaker, probes counted by the metric)."""
+    policy = RetryPolicy(max_attempts=2, base_ms=1.0, jitter=0.0)
+    cloud, kv, wrapped = make_wrapped(policy=policy, threshold=2,
+                                      cooldown=50.0, seed=seed,
+                                      probe_interval=probe_interval)
+    kv.faults = ScriptedInjector(cloud.env, ["throttle"] * 10_000)
+    deadline = cloud.now + 5_000.0
+    while cloud.now < deadline:
+        with pytest.raises(StorageUnavailable):
+            cloud.run_process(wrapped.put_item(OpContext(), "t", "k", {}))
+        cloud.run(until=cloud.now + 10.0)     # caller retry cadence
+    breaker = wrapped.retrier.breakers[kv.region]
+    metric = wrapped.retrier._breaker_probes.labels(
+        store="system", region=kv.region).value
+    return breaker.probes, metric
+
+
+def test_brownout_probe_rate_is_bounded_by_the_interval():
+    legacy_probes, legacy_metric = _brownout_probe_count(0.0)
+    capped_probes, capped_metric = _brownout_probe_count(1_000.0)
+    # Metric and breaker agree on what was admitted.
+    assert legacy_metric == legacy_probes > 0
+    assert capped_metric == capped_probes > 0
+    # Legacy probes once per ~50ms cooldown; the interval slows that to
+    # once per second — a hard upper bound over the 5s brown-out.
+    assert capped_probes < legacy_probes
+    assert capped_probes <= 5_000.0 / 1_000.0 + 1
+    assert legacy_probes >= 10 * capped_probes
+
+
+def test_service_probe_interval_reaches_the_system_breaker():
+    cloud, service = make_service(
+        user_store="mem", storage_breaker_threshold=2,
+        storage_breaker_cooldown_ms=50.0,
+        storage_breaker_probe_interval_ms=750.0)
+    inner = service.system_store._inner
+    inner.faults = ScriptedInjector(cloud.env, ["throttle"] * 1000)
+    ctx = OpContext(region=service.config.primary_region)
+    for _ in range(2):
+        with pytest.raises(StorageUnavailable):
+            cloud.run_process(service.system_store.get_item(
+                ctx, SYSTEM_SESSIONS, "s"))
+    breaker = service.system_store.retrier.breakers[inner.region]
+    assert breaker.probe_interval_ms == 750.0
+    assert breaker.state == BREAKER_OPEN
+    # After the cooldown one probe is admitted; it fails, and the counter
+    # lands in the service-wide metrics snapshot.
+    cloud.run(until=cloud.now + 100.0)
+    with pytest.raises(StorageUnavailable):
+        cloud.run_process(service.system_store.get_item(
+            ctx, SYSTEM_SESSIONS, "s"))
+    snap = service.metrics_snapshot()["fk_storage_breaker_probes_total"]
+    assert sum(snap["values"].values()) >= 1
 
 
 # ------------------------------------------------------------- fingerprint

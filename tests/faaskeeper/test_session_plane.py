@@ -1,0 +1,307 @@
+"""Sharded session plane: partitioned heartbeat sweeps, per-shard watch
+tables, batched registration — and the shards=1 bit-for-bit gate.
+
+``session_plane_shards=1`` (the default) must be the paper's flat plane,
+not a near-copy: same event sequence, same virtual-clock timings, same
+metered cost.  The sharded topology keeps every protocol (ephemeral-first
+eviction per shard, guarded watch removal, TTL refresh) and only splits
+the *tables and sweeps* they run over.
+"""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.cloud.context import OpContext
+from repro.cloud.kvstore import scan_segment_of
+from repro.faaskeeper import FaaSKeeperConfig
+from repro.faaskeeper.layout import (
+    SYSTEM_SESSIONS,
+    SYSTEM_WATCHES,
+    session_shard_of,
+    watch_shard_of,
+    watch_shard_table,
+)
+from .conftest import make_service
+
+
+# ------------------------------------------------------------ shard maps
+def test_watch_and_session_shard_maps_are_stable():
+    assert watch_shard_table(0) == SYSTEM_WATCHES
+    assert watch_shard_table(2) == f"{SYSTEM_WATCHES}-2"
+    assert watch_shard_of("/any/path", 1) == 0
+    assert session_shard_of("s123", 1) == 0
+    # covers every shard over a modest population
+    assert {watch_shard_of(f"/p{i}", 4) for i in range(64)} == {0, 1, 2, 3}
+    assert {session_shard_of(f"s{i}", 4) for i in range(64)} == {0, 1, 2, 3}
+    # the session map mirrors the KV layer's parallel-scan segments, so a
+    # sweep shard scanning segment i sees exactly its sessions
+    for i in range(32):
+        assert session_shard_of(f"s{i}", 4) == scan_segment_of(f"s{i}", 4)
+
+
+def test_config_validates_session_plane_shards():
+    with pytest.raises(ValueError):
+        FaaSKeeperConfig(session_plane_shards=0)
+    assert FaaSKeeperConfig().session_plane_shards == 1
+
+
+# ------------------------------------------------------------ fingerprint
+def _workload_fingerprint(seed, **config_kwargs):
+    """Heartbeat + eviction + watch activity, run past two sweep periods."""
+    cloud, service = make_service(seed=seed, **config_kwargs)
+    c = service.connect()
+    events = []
+    c.create("/a", b"")
+    c.create("/a/x", b"v0", ephemeral=True)
+    hits = []
+    c.get_data("/a/x", watch=lambda ev: hits.append(ev.txid))
+    res = c.set_data("/a/x", b"v1")
+    events.append((res.txid, res.version))
+    dead = service.connect()
+    dead.create("/a/dead", b"", ephemeral=True)
+    dead.alive = False
+    cloud.run(until=cloud.now + 3 * 60_000)     # two sweeps + eviction
+    events.append((dead.closed, dead.evicted, dead.closed_at))
+    events.append(service.heartbeat_logic.evictions)
+    events.append(tuple(hits))
+    events.append(round(cloud.now, 6))
+    events.append(round(sum(cloud.meter.by_service().values()), 12))
+    return events
+
+
+def test_shards1_identical_to_default_flat_plane():
+    """Acceptance gate: session_plane_shards=1 must be the paper's session
+    plane bit-for-bit — same sweeps, evictions, watch events, virtual-clock
+    timing and metered cost."""
+    assert _workload_fingerprint(91) == \
+        _workload_fingerprint(91, session_plane_shards=1)
+
+
+def test_probe_interval_zero_is_invisible():
+    """storage_breaker_probe_interval_ms=0 (default) is the legacy breaker:
+    the knob must not move the fingerprint when it is off."""
+    assert _workload_fingerprint(92) == \
+        _workload_fingerprint(92, storage_breaker_probe_interval_ms=0.0)
+
+
+# ------------------------------------------------------------ topology
+def test_flat_plane_deploys_legacy_topology():
+    _cloud, service = make_service(seed=93)
+    assert [f.spec.name for f in service.heartbeat_fns] == ["fk-heartbeat"]
+    assert service.heartbeat_fn is service.heartbeat_fns[0]
+    assert service.heartbeat_task is service.heartbeat_tasks[0]
+    assert service.watch_registry.tables == [SYSTEM_WATCHES]
+    assert service.heartbeat_task.offset_ms == 0.0
+
+
+def test_sharded_plane_deploys_one_sweep_and_watch_table_per_shard():
+    _cloud, service = make_service(seed=94, session_plane_shards=4)
+    assert [f.spec.name for f in service.heartbeat_fns] == [
+        "fk-heartbeat", "fk-heartbeat-1", "fk-heartbeat-2", "fk-heartbeat-3"]
+    assert [logic.shard for logic in service.heartbeat_logics] == [0, 1, 2, 3]
+    assert all(logic.shards == 4 for logic in service.heartbeat_logics)
+    assert service.watch_registry.tables == [
+        SYSTEM_WATCHES, f"{SYSTEM_WATCHES}-1",
+        f"{SYSTEM_WATCHES}-2", f"{SYSTEM_WATCHES}-3"]
+    for table in service.watch_registry.tables:
+        assert service.system_store.table(table) is not None
+    # shard sweeps are phase-staggered; shard 0 keeps the flat schedule
+    offsets = [t.offset_ms for t in service.heartbeat_tasks]
+    assert offsets[0] == 0.0
+    assert offsets == sorted(offsets) and len(set(offsets)) == 4
+
+
+# ------------------------------------------------------------ behaviour
+def test_sharded_sweeps_cover_every_session_and_evict_dead_ones():
+    cloud, service = make_service(seed=95, session_plane_shards=4)
+    clients = service.connect_many(40)
+    dead = [c for i, c in enumerate(clients) if i % 4 == 0]
+    for c in dead:
+        c.alive = False
+    cloud.run(until=cloud.now + 3 * 60_000)
+    for c in dead:
+        assert c.closed and c.evicted and c.closed_at is not None
+    live = [c for c in clients if c not in dead]
+    assert all(not c.closed for c in live)
+    # every shard swept at least once, and only its own slice
+    snap = service.metrics_snapshot()
+    per_shard = snap["fk_heartbeat_shard_sweeps_total"]["values"]
+    assert set(per_shard) == {f'shard="{i}"' for i in range(4)}
+    assert all(v >= 1 for v in per_shard.values())
+
+
+def test_sharded_and_flat_plane_agree_on_evictions():
+    def outcome(shards):
+        cloud, service = make_service(seed=96, session_plane_shards=shards)
+        clients = [service.connect() for _ in range(12)]
+        for c in clients[::3]:
+            c.create(f"/eph-{c.session_id}", b"", ephemeral=True)
+            c.alive = False
+        cloud.run(until=cloud.now + 3 * 60_000)
+        return sorted((c.session_id, c.closed, c.evicted) for c in clients)
+
+    assert outcome(1) == outcome(4)
+
+
+def test_watches_route_to_their_shard_table_and_still_deliver():
+    cloud, service = make_service(seed=97, session_plane_shards=4)
+    c = service.connect()
+    reg = service.watch_registry
+    # two paths on different watch shards
+    paths = [f"/w{i}" for i in range(32)]
+    a = next(p for p in paths if watch_shard_of(p, 4) == 0)
+    b = next(p for p in paths if watch_shard_of(p, 4) != 0)
+    for p in (a, b):
+        c.create(p, b"")
+    hits = []
+    c.get_data(a, watch=lambda ev: hits.append(("a", ev.path)))
+    c.get_data(b, watch=lambda ev: hits.append(("b", ev.path)))
+    # instances persisted in the owning shard's table, nowhere else
+    assert service.system_store.table(reg.table_for(a)).raw(a) is not None
+    assert service.system_store.table(reg.table_for(b)).raw(b) is not None
+    assert reg.table_for(a) != reg.table_for(b)
+    assert service.system_store.table(reg.table_for(a)).raw(b) is None
+    c.set_data(a, b"x")
+    c.set_data(b, b"y")
+    cloud.run(until=cloud.now + 5_000)
+    assert sorted(hits) == [("a", a), ("b", b)]
+    # fan-out attribution per watch shard
+    snap = service.metrics_snapshot()
+    shards_hit = set(snap["fk_watch_shard_deliveries_total"]["values"])
+    assert shards_hit == {f'watch_shard="{watch_shard_of(a, 4)}"',
+                          f'watch_shard="{watch_shard_of(b, 4)}"'}
+
+
+def test_watch_reregistration_lands_on_a_different_shard():
+    """Satellite edge case: a session whose watch fired re-arms on a path
+    hashing to another watch shard — both shard tables must carry the
+    session's instances over time, and the GC's guarded removal must
+    reclaim each on its own shard once the session dies."""
+    cloud, service = make_service(seed=98, session_plane_shards=4)
+    reg = service.watch_registry
+    paths = [f"/r{i}" for i in range(64)]
+    a = next(p for p in paths if watch_shard_of(p, 4) == 1)
+    b = next(p for p in paths if watch_shard_of(p, 4) == 2)
+    owner = service.connect()
+    for p in (a, b):
+        owner.create(p, b"")
+    watcher = service.connect()
+    fired = []
+    watcher.get_data(a, watch=lambda ev: fired.append(ev.path))
+    owner.set_data(a, b"1")                    # consumes the shard-1 watch
+    cloud.run(until=cloud.now + 5_000)
+    assert fired == [a]
+    watcher.get_data(b, watch=lambda ev: fired.append(ev.path))
+    assert service.system_store.table(reg.table_for(b)).raw(b) is not None
+    # watcher dies silently: the GC must reclaim the un-fired shard-2
+    # instance through the per-shard guarded-removal path
+    watcher.alive = False
+    cloud.run(until=cloud.now + 3 * 60_000)
+    assert watcher.closed and watcher.evicted
+    service.gc_fn.invoke(None)
+    cloud.run(until=cloud.now + 10_000)
+    item = service.system_store.table(reg.table_for(b)).raw(b)
+    insts = (item or {}).get("inst") or {}
+    assert all(watcher.session_id not in (i.get("sessions") or [])
+               for i in insts.values())
+
+
+def test_session_closing_mid_sweep_at_shard_boundary():
+    """Satellite edge case: a session closes between a shard sweep's scan
+    and its ping — the sweep must complete, enqueue no double close, and
+    the other shards' sweeps must never see the session at all."""
+    cloud, service = make_service(seed=99, session_plane_shards=4)
+    clients = service.connect_many(16)
+    victim = clients[0]
+    shard = session_shard_of(victim.session_id, 4)
+    fn = service.heartbeat_fns[shard]
+    # fire the owning shard's sweep manually and close the victim while
+    # the sweep is mid-flight (after the scan latency started)
+    done = fn.invoke(None)
+    cloud.run(until=cloud.now + 1.0)           # sweep is scanning
+    victim.close()
+    cloud.run(until=done)
+    assert victim.closed and not victim.evicted
+    # the record is gone and later sweeps (any shard) are unaffected
+    assert service.system_store.table(SYSTEM_SESSIONS).raw(
+        victim.session_id) is None
+    for other in service.heartbeat_fns:
+        other.invoke(None)
+    cloud.run(until=cloud.now + 10_000)
+    assert sum(1 for c in clients if c.closed) == 1
+
+
+def test_ttl_refresh_racing_eviction_is_absorbed():
+    """Satellite edge case: with TTL-native cleanup, a session that answers
+    the scan but closes before the TTL refresh lands must not resurrect —
+    the conditional refresh hits ConditionFailed and is dropped."""
+    cloud, service = make_service(seed=100, session_plane_shards=4,
+                                  user_store="mem",
+                                  ephemeral_ttl_enabled=True)
+    clients = service.connect_many(8)
+    victim = clients[3]
+    shard = session_shard_of(victim.session_id, 4)
+    fn = service.heartbeat_fns[shard]
+    done = fn.invoke(None)
+    cloud.run(until=cloud.now + 1.0)           # scan in flight, pings next
+    victim.close()                              # record deleted mid-sweep
+    cloud.run(until=done)
+    assert victim.closed
+    assert service.system_store.table(SYSTEM_SESSIONS).raw(
+        victim.session_id) is None
+    # the surviving sessions all kept a refreshed record
+    for c in clients:
+        if c is victim:
+            continue
+        assert service.system_store.table(SYSTEM_SESSIONS).raw(
+            c.session_id) is not None
+
+
+# ------------------------------------------------------------ registration
+def test_connect_many_matches_serial_connects():
+    def register(batched):
+        cloud, service = make_service(seed=101)
+        if batched:
+            clients = service.connect_many(10, batch_size=4)
+        else:
+            clients = [service.connect() for _ in range(10)]
+        # every session usable: a write and a read each
+        clients[0].create("/shared", b"")
+        for i, c in enumerate(clients):
+            c.create(f"/shared/n{i}", b"")
+        assert clients[3].get_children("/shared") == \
+            sorted(f"n{i}" for i in range(10))
+        records = service.system_store.table(SYSTEM_SESSIONS)
+        return (sorted(c.session_id for c in clients),
+                sorted(sid for c in clients
+                       if records.raw(c.session_id) is not None
+                       for sid in [c.session_id]),
+                service.active_sessions,
+                service.heartbeat_task.enabled)
+
+    assert register(batched=True) == register(batched=False)
+
+
+def test_connect_many_batches_the_session_writes():
+    cloud, service = make_service(seed=102)
+    table = service.system_store.table(SYSTEM_SESSIONS)
+    before_writes = table.write_count
+    t0 = cloud.now
+    service.connect_many(50, batch_size=25)
+    batched_ms = cloud.now - t0
+    assert table.write_count - before_writes == 50   # per-item accounting
+    # two BatchWriteItem round trips beat 50 serial conditional puts
+    cloud2, service2 = make_service(seed=102)
+    t0 = cloud2.now
+    for _ in range(50):
+        service2.connect()
+        cloud2.run(until=cloud2.now + 5.0)  # serial puts land one by one
+    serial_ms = cloud2.now - t0
+    assert batched_ms < serial_ms / 3
+
+
+def test_connect_many_validates_and_handles_empty():
+    _cloud, service = make_service(seed=103)
+    assert service.connect_many(0) == []
+    with pytest.raises(ValueError):
+        service.connect_many(5, batch_size=0)

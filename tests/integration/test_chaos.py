@@ -16,6 +16,11 @@ and audits at-least-once delivery with per-path txid order.  Seeds come
 from ``FK_CHAOS_SEEDS`` (how many, default 12; CI runs 50+) or
 ``FK_CHAOS_SEED`` (exactly one — the reproduce-a-CI-failure knob; any
 failure message prints the seed to export).
+
+A second axis sweeps the user-store backend: the exactly-once audit is a
+property of the pipeline, so it must hold over every registered store
+(mem, redis, s3, hybrid), not just the default.  CI's ``chaos-backends``
+matrix leg pins one backend per job via ``FK_CHAOS_BACKEND``.
 """
 
 import os
@@ -56,6 +61,11 @@ MATRIX = [
 ]
 
 
+#: The backend sweep: every registered scheme that deploys without extra
+#: infrastructure (dynamodb is the s1/s4 legs' implicit default path).
+BACKENDS = ["mem", "redis", "s3", "hybrid"]
+
+
 def chaos_seeds():
     pinned = os.environ.get("FK_CHAOS_SEED")
     if pinned:  # empty string = unset (CI passes '' when not pinning)
@@ -64,11 +74,21 @@ def chaos_seeds():
     return list(range(1, count + 1))
 
 
-def run_scenario(seed, config_name, stage):
+def chaos_backends():
+    pinned = os.environ.get("FK_CHAOS_BACKEND")
+    if pinned:  # the CI matrix leg runs one backend per job
+        return [pinned]
+    return BACKENDS
+
+
+def run_scenario(seed, config_name, stage, backend=None):
     """One seeded crash-restart scenario; returns violation strings."""
     cloud = Cloud.aws(seed=seed)
+    kwargs = dict(CONFIGS[config_name])
+    if backend is not None:
+        kwargs["user_store"] = backend
     config = FaaSKeeperConfig(commit_log_enabled=True, free_fn_retries=2,
-                              **CONFIGS[config_name])
+                              **kwargs)
     service = FaaSKeeperService.deploy(cloud, config)
     monkey = ChaosMonkey(service, seed=seed * 7919 + 13, stages=[stage],
                          probability=0.4, budget_per_point=2)
@@ -158,6 +178,29 @@ def test_exactly_once_under_seeded_crashes(config_name, stage):
     # The suite must actually exercise crashes, not pass vacuously.
     assert crashes_seen > 0, \
         f"no crash ever triggered across seeds {seeds[:3]}..{seeds[-1:]}"
+
+
+@pytest.mark.parametrize("backend", chaos_backends())
+def test_exactly_once_across_user_store_backends(backend):
+    """The backend sweep leg: one distributor-crash scenario per user
+    store.  Depth (all stages, all shard counts) lives in the main
+    matrix; this axis proves the audit is backend-independent."""
+    seeds = chaos_seeds()[:4]
+    crashes_seen = 0
+    for seed in seeds:
+        violations, monkey, _cloud, _svc, _exp = run_scenario(
+            seed, "s1-dist", "distributor", backend=backend)
+        crashes_seen += len(monkey.crashes)
+        if violations:
+            pytest.fail(
+                f"[backend={backend} seed={seed}] " + "; ".join(violations)
+                + f"\ncrash schedule: {monkey.crashes}"
+                + f"\nreproduce locally: FK_CHAOS_SEED={seed} "
+                f"FK_CHAOS_BACKEND={backend} python -m pytest "
+                f"'tests/integration/test_chaos.py::"
+                f"test_exactly_once_across_user_store_backends[{backend}]'")
+    assert crashes_seen > 0, \
+        f"no crash ever triggered across seeds {seeds} on {backend}"
 
 
 def test_region_wipe_after_chaos_recovers_from_snapshot():
